@@ -1,0 +1,53 @@
+//! Criterion bench behind ablation 4: per-learner training cost on the
+//! same arbiter-PUF CRP set.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlam::learn::dataset::LabeledSet;
+use mlam::learn::features::ArbiterPhiFeatures;
+use mlam::learn::lmn::{lmn_learn, LmnConfig};
+use mlam::learn::logistic::{LogisticConfig, LogisticRegression};
+use mlam::learn::perceptron::Perceptron;
+use mlam::puf::ArbiterPuf;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_learners(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let puf = ArbiterPuf::sample(32, 0.0, &mut rng);
+    let train = LabeledSet::sample(&puf, 3000, &mut rng);
+
+    c.bench_function("learners/perceptron_phi", |b| {
+        b.iter(|| {
+            black_box(
+                Perceptron::new(30)
+                    .train_with(ArbiterPhiFeatures::new(32), &train)
+                    .training_accuracy,
+            )
+        })
+    });
+    c.bench_function("learners/logistic_phi", |b| {
+        let mut rng = StdRng::seed_from_u64(8);
+        let cfg = LogisticConfig {
+            epochs: 20,
+            ..Default::default()
+        };
+        b.iter(|| {
+            black_box(
+                LogisticRegression::new(cfg)
+                    .train_phi(&train, &mut rng)
+                    .training_accuracy,
+            )
+        })
+    });
+    c.bench_function("learners/lmn_d1", |b| {
+        b.iter(|| black_box(lmn_learn(&train, LmnConfig::new(1)).training_accuracy))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_learners
+}
+criterion_main!(benches);

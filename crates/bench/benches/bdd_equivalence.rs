@@ -1,0 +1,46 @@
+//! Criterion bench: BDD-based formal key validation vs. exhaustive
+//! simulation on locked circuits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlam::locking::combinational::lock_xor;
+use mlam::netlist::bdd::equivalent_bdd;
+use mlam::netlist::generate::ripple_adder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_formal_vs_exhaustive(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let oracle = ripple_adder(6); // 12 inputs
+    let locked = lock_xor(&oracle, 8, &mut rng);
+    let key = locked.correct_key().clone();
+
+    c.bench_function("equivalence/exhaustive_12in", |b| {
+        b.iter(|| black_box(locked.equivalent_under_key(&oracle, &key)))
+    });
+    c.bench_function("equivalence/bdd_12in", |b| {
+        b.iter(|| black_box(locked.equivalent_under_key_formal(&oracle, &key)))
+    });
+    // BDD-only regime: 24 inputs.
+    let wide = ripple_adder(12);
+    let wide_locked = lock_xor(&wide, 8, &mut rng);
+    let wide_key = wide_locked.correct_key().clone();
+    c.bench_function("equivalence/bdd_24in", |b| {
+        b.iter(|| black_box(wide_locked.equivalent_under_key_formal(&wide, &wide_key)))
+    });
+    c.bench_function("equivalence/bdd_build_adder12", |b| {
+        b.iter(|| {
+            let mut mgr = mlam::netlist::bdd::BddManager::new(24);
+            let o = mgr.build_netlist(&wide);
+            black_box(o.len())
+        })
+    });
+    let _ = equivalent_bdd(&wide, &wide);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_formal_vs_exhaustive
+}
+criterion_main!(benches);

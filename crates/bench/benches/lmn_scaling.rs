@@ -1,0 +1,28 @@
+//! Criterion bench behind the Corollary 1 discussion: LMN cost as the
+//! degree (i.e. the k²/ε² requirement) grows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlam::learn::dataset::LabeledSet;
+use mlam::learn::lmn::{lmn_learn, LmnConfig};
+use mlam::puf::XorArbiterPuf;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_lmn_degrees(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let puf = XorArbiterPuf::sample(20, 2, 0.0, &mut rng);
+    let train = LabeledSet::sample(&puf, 4000, &mut rng);
+    for degree in [1usize, 2, 3] {
+        c.bench_function(&format!("lmn/n20_k2_degree{degree}"), |b| {
+            b.iter(|| black_box(lmn_learn(&train, LmnConfig::new(degree)).training_accuracy))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_lmn_degrees
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench behind the sequential sweep: L* cost vs. FSM size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlam::locking::sequential::{lstar_attack, Fsm, ObfuscatedFsm};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_lstar(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(6);
+    for states in [4usize, 8, 16] {
+        let fsm = Fsm::random(states, 2, &mut rng);
+        let seq: Vec<usize> = (0..4).map(|_| rng.gen_range(0..2)).collect();
+        let obf = ObfuscatedFsm::new(fsm, seq);
+        c.bench_function(&format!("lstar/states{states}"), |b| {
+            b.iter(|| black_box(lstar_attack(&obf).membership_queries))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_lstar
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench behind the locking comparison: SAT-attack runtime
+//! as the key widens.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlam::locking::combinational::lock_xor;
+use mlam::locking::sat_attack::{sat_attack, SatAttackConfig};
+use mlam::netlist::generate::random_circuit;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_sat_attack(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let oracle = random_circuit(10, 60, 2, &mut rng);
+    for key_bits in [4usize, 8, 16] {
+        let locked = lock_xor(&oracle, key_bits, &mut rng);
+        c.bench_function(&format!("sat_attack/keybits{key_bits}"), |b| {
+            b.iter(|| {
+                let r = sat_attack(&locked, &oracle, SatAttackConfig::default());
+                black_box(r.iterations)
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sat_attack
+}
+criterion_main!(benches);

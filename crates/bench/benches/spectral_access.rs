@@ -1,0 +1,40 @@
+//! Criterion bench: LMN (random examples) vs KM (membership queries)
+//! cost on the same BR PUF.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlam::learn::dataset::LabeledSet;
+use mlam::learn::km::{km_learn, KmConfig};
+use mlam::learn::lmn::{lmn_learn, LmnConfig};
+use mlam::learn::oracle::FunctionOracle;
+use mlam::puf::{BistableRingPuf, BrPufConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_spectral(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let cfg = BrPufConfig {
+        pair_strength: 2.0,
+        triple_strength: 0.0,
+        noise_sigma: 0.0,
+    };
+    let puf = BistableRingPuf::sample(12, cfg, &mut rng);
+    let train = LabeledSet::sample(&puf, 6000, &mut rng);
+
+    c.bench_function("spectral/lmn_d2_n12", |b| {
+        b.iter(|| black_box(lmn_learn(&train, LmnConfig::new(2)).training_accuracy))
+    });
+    c.bench_function("spectral/km_theta015_n12", |b| {
+        b.iter(|| {
+            let oracle = FunctionOracle::uniform(&puf);
+            black_box(km_learn(&oracle, KmConfig::new(0.15), &mut rng).hypothesis.len())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_spectral
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench behind Table I: time to compute the full bound grid
+//! and to run the empirical Perceptron cross-check at one point.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mlam::bounds::TableOne;
+use mlam::learn::dataset::LabeledSet;
+use mlam::learn::features::ArbiterPhiFeatures;
+use mlam::learn::perceptron::Perceptron;
+use mlam::puf::XorArbiterPuf;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_bound_grid(c: &mut Criterion) {
+    c.bench_function("table1/bound_grid_4x7", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for n in [16usize, 32, 64, 128] {
+                for k in 1..=7usize {
+                    let t = TableOne::compute(n, k, 0.05, 0.01);
+                    acc += t.general_bound;
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_empirical_point(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let puf = XorArbiterPuf::sample(32, 1, 0.0, &mut rng);
+    let train = LabeledSet::sample(&puf, 2000, &mut rng);
+    c.bench_function("table1/perceptron_phi_n32_k1_2000crps", |b| {
+        b.iter_batched(
+            || train.clone(),
+            |tr| {
+                black_box(
+                    Perceptron::new(40)
+                        .train_with(ArbiterPhiFeatures::new(32), &tr)
+                        .mistakes,
+                )
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_bound_grid, bench_empirical_point
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench behind Table II: one Chow-reconstruction +
+//! Perceptron cell on a calibrated BR PUF.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlam::learn::chow::{table_ii_procedure, ChowConfig};
+use mlam::learn::dataset::LabeledSet;
+use mlam::puf::{BistableRingPuf, BrPufConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_table2_cell(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    for n in [16usize, 32] {
+        let puf = BistableRingPuf::sample(n, BrPufConfig::calibrated_accuracy(n), &mut rng);
+        let train = LabeledSet::sample(&puf, 2500, &mut rng);
+        let test = LabeledSet::sample(&puf, 2000, &mut rng);
+        c.bench_function(&format!("table2/cell_n{n}_2500crps"), |b| {
+            b.iter(|| {
+                let cell = table_ii_procedure(&train, &test, ChowConfig::default(), 30);
+                black_box(cell.test_accuracy)
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table2_cell
+}
+criterion_main!(benches);

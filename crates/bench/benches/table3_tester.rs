@@ -1,0 +1,29 @@
+//! Criterion bench behind Table III: the halfspace tester at each of
+//! the paper's sample sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlam::boolean::testing::HalfspaceTester;
+use mlam::puf::crp::collect_uniform;
+use mlam::puf::{BistableRingPuf, BrPufConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_tester(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    for (n, crps) in [(16usize, 100usize), (32, 1339), (64, 8000)] {
+        let puf = BistableRingPuf::sample(n, BrPufConfig::calibrated(n), &mut rng);
+        let data = collect_uniform(&puf, crps, &mut rng).to_labeled();
+        let tester = HalfspaceTester::new(0.1, 0.95);
+        c.bench_function(&format!("table3/tester_n{n}_{crps}crps"), |b| {
+            b.iter(|| black_box(tester.run(n, &data, &mut rng).distance_estimate))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tester
+}
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Regenerates the four design-choice ablations of DESIGN.md.
+//!
+//! Usage: `cargo run --release -p mlam-bench --bin ablations [--quick]`
+
+use mlam::experiments::ablations::{run_ablations, AblationParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let params = if quick {
+        AblationParams::quick()
+    } else {
+        AblationParams::paper()
+    };
+    let mut rng = StdRng::seed_from_u64(0xDA7E_2020);
+    let result = run_ablations(&params, &mut rng);
+    for table in result.to_tables() {
+        println!("{table}");
+    }
+}

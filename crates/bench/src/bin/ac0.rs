@@ -1,0 +1,14 @@
+//! Regenerates the AC0 uniform-learnability demonstration (Section III).
+//!
+//! Usage: `cargo run --release -p mlam-bench --bin ac0 [--quick]`
+
+use mlam::experiments::ac0::{run_ac0, Ac0Params};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let params = if quick { Ac0Params::quick() } else { Ac0Params::paper() };
+    let mut rng = StdRng::seed_from_u64(0xDA7E_2020);
+    println!("{}", run_ac0(&params, &mut rng).to_table());
+}

@@ -1,0 +1,20 @@
+//! Regenerates the Corollary 2 demonstration (exact learning with
+//! membership queries, poly(n) query growth).
+//!
+//! Usage: `cargo run --release -p mlam-bench --bin corollary2 [--quick]`
+
+use mlam::experiments::corollary2::{run_corollary2, Corollary2Params};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let params = if quick {
+        Corollary2Params::quick()
+    } else {
+        Corollary2Params::paper()
+    };
+    let mut rng = StdRng::seed_from_u64(0xDA7E_2020);
+    let result = run_corollary2(&params, &mut rng);
+    println!("{}", result.to_table());
+}

@@ -1,0 +1,23 @@
+//! Regenerates the exact-vs-approximate sweep on SARLock point-function
+//! locking (Section IV-A).
+//!
+//! Usage: `cargo run --release -p mlam-bench --bin exact_vs_approx [--quick]`
+
+use mlam::experiments::exact_vs_approx::{run_exact_vs_approx, ExactVsApproxParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let params = if quick {
+        ExactVsApproxParams::quick()
+    } else {
+        ExactVsApproxParams::paper()
+    };
+    let mut rng = StdRng::seed_from_u64(0xDA7E_2020);
+    let result = run_exact_vs_approx(&params, &mut rng);
+    println!("{}", result.to_table());
+    if let Some(p) = &result.detected_pitfall {
+        println!("detected pitfall: {p}");
+    }
+}

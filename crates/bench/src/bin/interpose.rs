@@ -1,0 +1,20 @@
+//! Regenerates the Interpose PUF representation experiment.
+//!
+//! Usage: `cargo run --release -p mlam-bench --bin interpose [--quick]`
+
+use mlam::experiments::interpose::{run_interpose, InterposeParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let params = if quick {
+        InterposeParams::quick()
+    } else {
+        InterposeParams::paper()
+    };
+    let mut rng = StdRng::seed_from_u64(0xDA7E_2020);
+    let result = run_interpose(&params, &mut rng);
+    println!("{}", result.to_table());
+    println!("CMA-ES fitness evaluations: {}", result.evaluations);
+}

@@ -1,0 +1,20 @@
+//! Regenerates the lockdown-defense sweep (reference \[10\]): attack
+//! accuracy as a function of the interface-enforced CRP budget.
+//!
+//! Usage: `cargo run --release -p mlam-bench --bin lockdown [--quick]`
+
+use mlam::experiments::lockdown::{run_lockdown, LockdownParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let params = if quick {
+        LockdownParams::quick()
+    } else {
+        LockdownParams::paper()
+    };
+    let mut rng = StdRng::seed_from_u64(0xDA7E_2020);
+    let result = run_lockdown(&params, &mut rng);
+    println!("{}", result.to_table());
+}

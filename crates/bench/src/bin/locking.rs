@@ -1,0 +1,20 @@
+//! Regenerates the logic-locking attack comparison (SAT vs AppSAT vs
+//! random-example PAC attack).
+//!
+//! Usage: `cargo run --release -p mlam-bench --bin locking [--quick]`
+
+use mlam::experiments::locking::{run_locking, LockingParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let params = if quick {
+        LockingParams::quick()
+    } else {
+        LockingParams::paper()
+    };
+    let mut rng = StdRng::seed_from_u64(0xDA7E_2020);
+    let result = run_locking(&params, &mut rng);
+    println!("{}", result.to_table());
+}

@@ -1,0 +1,25 @@
+//! Regenerates the RocknRoll correlated-chain sweep (Sections III-A,
+//! V-B): many-chain XOR APUFs that are learnable because — and only
+//! because — their chains are correlated.
+//!
+//! Usage: `cargo run --release -p mlam-bench --bin rocknroll [--quick]`
+
+use mlam::experiments::rocknroll::{run_rocknroll, RocknRollParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let params = if quick {
+        RocknRollParams::quick()
+    } else {
+        RocknRollParams::paper()
+    };
+    let mut rng = StdRng::seed_from_u64(0xDA7E_2020);
+    let result = run_rocknroll(&params, &mut rng);
+    println!("{}", result.to_table());
+    println!(
+        "comparable with the distribution-free hardness claim of [9]? {}",
+        result.comparable_with_hardness_claim
+    );
+}

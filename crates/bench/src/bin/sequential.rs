@@ -1,0 +1,20 @@
+//! Regenerates the sequential-locking (L* on HARPOON-obfuscated FSM)
+//! sweep.
+//!
+//! Usage: `cargo run --release -p mlam-bench --bin sequential [--quick]`
+
+use mlam::experiments::sequential::{run_sequential, SequentialParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let params = if quick {
+        SequentialParams::quick()
+    } else {
+        SequentialParams::paper()
+    };
+    let mut rng = StdRng::seed_from_u64(0xDA7E_2020);
+    let result = run_sequential(&params, &mut rng);
+    println!("{}", result.to_table());
+}

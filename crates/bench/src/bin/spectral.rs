@@ -1,0 +1,15 @@
+//! Regenerates the spectral access-model comparison (LMN vs KM on one
+//! BR PUF; Section IV with representation held fixed).
+//!
+//! Usage: `cargo run --release -p mlam-bench --bin spectral [--quick]`
+
+use mlam::experiments::spectral::{run_spectral, SpectralParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let params = if quick { SpectralParams::quick() } else { SpectralParams::paper() };
+    let mut rng = StdRng::seed_from_u64(0xDA7E_2020);
+    println!("{}", run_spectral(&params, &mut rng).to_table());
+}

@@ -1,0 +1,30 @@
+//! Regenerates Table I (analytic bounds + empirical cross-check).
+//!
+//! Usage: `cargo run --release -p mlam-bench --bin table1 [--quick]`
+
+use mlam::experiments::{run_table1, Table1Params};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let params = if quick {
+        Table1Params::quick()
+    } else {
+        Table1Params::paper()
+    };
+    let mut rng = StdRng::seed_from_u64(0xDA7E_2020);
+    let result = run_table1(&params, &mut rng);
+    println!("{}", result.to_table());
+    if !result.empirical.is_empty() {
+        println!("{}", result.empirical_table());
+    }
+    println!(
+        "shape check: VC(uniform) < Perceptron(arbitrary) for k>=2: {}",
+        result
+            .bounds
+            .iter()
+            .filter(|b| b.k >= 2)
+            .all(|b| b.general_bound < b.perceptron_bound)
+    );
+}

@@ -1,0 +1,27 @@
+//! Regenerates Table II (Chow-parameter LTF accuracy plateau).
+//!
+//! Usage: `cargo run --release -p mlam-bench --bin table2 [--quick]`
+
+use mlam::experiments::{run_table2, Table2Params};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let params = if quick {
+        Table2Params::quick()
+    } else {
+        Table2Params::paper()
+    };
+    let mut rng = StdRng::seed_from_u64(0xDA7E_2020);
+    let result = run_table2(&params, &mut rng);
+    println!("{}", result.to_table());
+    println!(
+        "plateau gains (last budget - first budget, per n): {:?}",
+        result
+            .plateau_gains()
+            .iter()
+            .map(|g| format!("{:+.2} pp", g * 100.0))
+            .collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,19 @@
+//! Regenerates Table III (halfspace tester on BR PUF CRPs).
+//!
+//! Usage: `cargo run --release -p mlam-bench --bin table3 [--quick]`
+
+use mlam::experiments::{run_table3, Table3Params};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let params = if quick {
+        Table3Params::quick()
+    } else {
+        Table3Params::paper()
+    };
+    let mut rng = StdRng::seed_from_u64(0xDA7E_2020);
+    let result = run_table3(&params, &mut rng);
+    println!("{}", result.to_table());
+}

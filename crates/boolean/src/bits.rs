@@ -1,0 +1,431 @@
+//! Arbitrary-length bit vectors used as challenges and circuit inputs.
+//!
+//! [`BitVec`] is a compact, fixed-length vector of bits backed by `u64`
+//! words. It is the universal input type of the workspace: PUF challenges,
+//! netlist input assignments and learning examples are all `BitVec`s.
+
+use rand::Rng;
+use std::fmt;
+
+/// A fixed-length vector of bits backed by `u64` words.
+///
+/// The length is fixed at construction; out-of-range accesses panic.
+/// Bit `i` of the vector corresponds to challenge bit `c_i` in the paper.
+///
+/// # Example
+///
+/// ```
+/// use mlam_boolean::BitVec;
+///
+/// let mut v = BitVec::zeros(70);
+/// v.set(3, true);
+/// v.set(69, true);
+/// assert!(v.get(3) && v.get(69) && !v.get(0));
+/// assert_eq!(v.count_ones(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BitVec {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitVec {
+    /// Creates an all-zero vector of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        BitVec {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// Creates an all-one vector of `len` bits.
+    pub fn ones(len: usize) -> Self {
+        let mut v = Self::zeros(len);
+        for w in &mut v.words {
+            *w = u64::MAX;
+        }
+        v.mask_tail();
+        v
+    }
+
+    /// Builds a vector from a slice of Booleans.
+    ///
+    /// ```
+    /// use mlam_boolean::BitVec;
+    /// let v = BitVec::from_bools(&[true, false, true]);
+    /// assert_eq!(v.len(), 3);
+    /// assert!(v.get(0) && !v.get(1) && v.get(2));
+    /// ```
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut v = Self::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            v.set(i, b);
+        }
+        v
+    }
+
+    /// Builds an `len`-bit vector from the low bits of `value`
+    /// (bit `i` of the vector = bit `i` of `value`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 64`.
+    pub fn from_u64(value: u64, len: usize) -> Self {
+        assert!(len <= 64, "from_u64 supports at most 64 bits, got {len}");
+        let mut v = Self::zeros(len);
+        if len > 0 {
+            v.words[0] = if len == 64 {
+                value
+            } else {
+                value & ((1u64 << len) - 1)
+            };
+        }
+        v
+    }
+
+    /// Returns the low 64 bits as a `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector is longer than 64 bits.
+    pub fn to_u64(&self) -> u64 {
+        assert!(self.len <= 64, "to_u64 requires len <= 64, got {}", self.len);
+        self.words.first().copied().unwrap_or(0)
+    }
+
+    /// Samples a uniformly random vector of `len` bits.
+    pub fn random<R: Rng + ?Sized>(len: usize, rng: &mut R) -> Self {
+        let mut v = Self::zeros(len);
+        for w in &mut v.words {
+            *w = rng.gen();
+        }
+        v.mask_tail();
+        v
+    }
+
+    /// Samples a vector whose bits are independently 1 with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn random_biased<R: Rng + ?Sized>(len: usize, p: f64, rng: &mut R) -> Self {
+        assert!((0.0..=1.0).contains(&p), "bias must be in [0,1], got {p}");
+        let mut v = Self::zeros(len);
+        for i in 0..len {
+            if rng.gen_bool(p) {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector has zero length.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range for len {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn set(&mut self, i: usize, b: bool) {
+        assert!(i < self.len, "bit index {i} out of range for len {}", self.len);
+        let w = &mut self.words[i / 64];
+        if b {
+            *w |= 1 << (i % 64);
+        } else {
+            *w &= !(1 << (i % 64));
+        }
+    }
+
+    /// Flips bit `i`, returning the new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn flip(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range for len {}", self.len);
+        self.words[i / 64] ^= 1 << (i % 64);
+        self.get(i)
+    }
+
+    /// Returns bit `i` in the ±1 encoding of the paper (`0 → +1`, `1 → -1`).
+    #[inline]
+    pub fn pm(&self, i: usize) -> f64 {
+        crate::to_pm(self.get(i))
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Hamming distance to another vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn hamming(&self, other: &BitVec) -> u32 {
+        assert_eq!(self.len, other.len, "hamming distance needs equal lengths");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
+    }
+
+    /// Parity (XOR) of the bits selected by `mask` over the low 64 bits.
+    ///
+    /// This evaluates the character `χ_S` with `S` given as a mask, in the
+    /// `{0,1}` world: the result is `true` iff an odd number of selected
+    /// bits are 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector is longer than 64 bits.
+    #[inline]
+    pub fn parity_masked(&self, mask: u64) -> bool {
+        assert!(self.len <= 64, "parity_masked requires len <= 64");
+        (self.words.first().copied().unwrap_or(0) & mask).count_ones() % 2 == 1
+    }
+
+    /// Iterator over the bits, in index order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { v: self, i: 0 }
+    }
+
+    /// Returns the vector as a `Vec<bool>`.
+    pub fn to_bools(&self) -> Vec<bool> {
+        self.iter().collect()
+    }
+
+    /// Returns a copy with bit `i` flipped.
+    pub fn with_flipped(&self, i: usize) -> BitVec {
+        let mut c = self.clone();
+        c.flip(i);
+        c
+    }
+
+    /// XORs `other` into `self` bitwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn xor_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "xor_assign needs equal lengths");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+    }
+
+    fn mask_tail(&mut self) {
+        let rem = self.len % 64;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+        if self.len == 0 {
+            self.words.clear();
+        }
+    }
+}
+
+/// Iterator over the bits of a [`BitVec`].
+pub struct Iter<'a> {
+    v: &'a BitVec,
+    i: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = bool;
+
+    fn next(&mut self) -> Option<bool> {
+        if self.i < self.v.len {
+            let b = self.v.get(self.i);
+            self.i += 1;
+            Some(b)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.v.len - self.i;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Iter<'_> {}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[")?;
+        for b in self.iter() {
+            write!(f, "{}", if b { '1' } else { '0' })?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in self.iter() {
+            write!(f, "{}", if b { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+impl From<&[bool]> for BitVec {
+    fn from(bits: &[bool]) -> Self {
+        BitVec::from_bools(bits)
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let bits: Vec<bool> = iter.into_iter().collect();
+        BitVec::from_bools(&bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = BitVec::zeros(130);
+        assert_eq!(z.count_ones(), 0);
+        let o = BitVec::ones(130);
+        assert_eq!(o.count_ones(), 130);
+        assert_eq!(o.len(), 130);
+    }
+
+    #[test]
+    fn set_get_flip() {
+        let mut v = BitVec::zeros(100);
+        v.set(64, true);
+        assert!(v.get(64));
+        assert!(!v.flip(64));
+        assert!(v.flip(99));
+        assert_eq!(v.count_ones(), 1);
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        let v = BitVec::from_u64(0b1011, 4);
+        assert_eq!(v.to_u64(), 0b1011);
+        assert_eq!(v.len(), 4);
+        assert!(v.get(0) && v.get(1) && !v.get(2) && v.get(3));
+        let full = BitVec::from_u64(u64::MAX, 64);
+        assert_eq!(full.to_u64(), u64::MAX);
+    }
+
+    #[test]
+    fn from_u64_masks_high_bits() {
+        let v = BitVec::from_u64(0xFF, 4);
+        assert_eq!(v.to_u64(), 0xF);
+    }
+
+    #[test]
+    fn hamming_distance() {
+        let a = BitVec::from_bools(&[true, false, true, true]);
+        let b = BitVec::from_bools(&[true, true, true, false]);
+        assert_eq!(a.hamming(&b), 2);
+    }
+
+    #[test]
+    fn parity_masked_examples() {
+        // value 0b1101 -> bit0=1, bit1=0, bit2=1, bit3=1
+        let v = BitVec::from_u64(0b1101, 4);
+        assert!(!v.parity_masked(0b0101)); // bits 0,2 = 1,1 -> even
+        assert!(v.parity_masked(0b0001)); // bit 0 = 1
+        assert!(!v.parity_masked(0b1110)); // bits 1,2,3 = 0,1,1 -> even
+        assert!(v.parity_masked(0b1000)); // bit 3 = 1
+    }
+
+    #[test]
+    fn random_has_expected_density() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let v = BitVec::random(10_000, &mut rng);
+        let ones = v.count_ones() as f64 / 10_000.0;
+        assert!((ones - 0.5).abs() < 0.03, "density {ones}");
+        let b = BitVec::random_biased(10_000, 0.2, &mut rng);
+        let ones = b.count_ones() as f64 / 10_000.0;
+        assert!((ones - 0.2).abs() < 0.03, "biased density {ones}");
+    }
+
+    #[test]
+    fn random_tail_is_masked() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            let v = BitVec::random(70, &mut rng);
+            // All bits beyond len must be zero in the backing store:
+            assert_eq!(v.words[1] >> 6, 0);
+        }
+    }
+
+    #[test]
+    fn xor_assign_is_involutive() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = BitVec::random(90, &mut rng);
+        let b = BitVec::random(90, &mut rng);
+        let mut c = a.clone();
+        c.xor_assign(&b);
+        c.xor_assign(&b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn iterator_and_collect() {
+        let v: BitVec = [true, false, true].into_iter().collect();
+        assert_eq!(v.to_bools(), vec![true, false, true]);
+        assert_eq!(v.iter().len(), 3);
+    }
+
+    #[test]
+    fn display_format() {
+        let v = BitVec::from_bools(&[true, false, true]);
+        assert_eq!(v.to_string(), "101");
+        assert_eq!(format!("{v:?}"), "BitVec[101]");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BitVec::zeros(4).get(4);
+    }
+
+    #[test]
+    fn with_flipped_differs_in_one_bit() {
+        let v = BitVec::zeros(9);
+        let w = v.with_flipped(8);
+        assert_eq!(v.hamming(&w), 1);
+        assert!(w.get(8));
+    }
+}

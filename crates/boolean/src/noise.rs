@@ -1,0 +1,203 @@
+//! Noise sensitivity and related spectral quantities.
+//!
+//! The noise sensitivity of `f` at rate `ε` is
+//! `NS_ε(f) = Pr[f(x) ≠ f(y)]` where `x` is uniform and `y` flips every
+//! bit of `x` independently with probability `ε` (paper, Section III-A).
+//! For PUFs this models *attribute noise*: the probability of a response
+//! change when challenge bits are perturbed. The LMN-style bounds in the
+//! paper hinge on `NS_ε(LTF) = O(√ε)` and
+//! `NS_ε(g(f_1..f_k)) = O(k·√ε)` for any combiner `g` of `k` LTFs.
+
+use crate::bits::BitVec;
+use crate::function::BooleanFunction;
+use rand::Rng;
+
+/// Estimates `NS_ε(f)` by Monte-Carlo sampling of `samples` correlated
+/// pairs.
+///
+/// # Panics
+///
+/// Panics if `eps` is outside `[0, 1]` or `samples == 0`.
+///
+/// # Example
+///
+/// ```
+/// use mlam_boolean::{noise, BitVec, FnFunction};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let dictator = FnFunction::new(16, |x: &BitVec| x.get(0));
+/// let ns = noise::noise_sensitivity(&dictator, 0.1, 20_000, &mut rng);
+/// // A dictator changes only when its one relevant bit flips.
+/// assert!((ns - 0.1).abs() < 0.02);
+/// ```
+pub fn noise_sensitivity<F, R>(f: &F, eps: f64, samples: usize, rng: &mut R) -> f64
+where
+    F: BooleanFunction + ?Sized,
+    R: Rng + ?Sized,
+{
+    assert!((0.0..=1.0).contains(&eps), "eps must be in [0,1]");
+    assert!(samples > 0);
+    let n = f.num_inputs();
+    let mut flips = 0usize;
+    for _ in 0..samples {
+        let x = BitVec::random(n, rng);
+        let mut y = x.clone();
+        for i in 0..n {
+            if rng.gen_bool(eps) {
+                y.flip(i);
+            }
+        }
+        if f.eval(&x) != f.eval(&y) {
+            flips += 1;
+        }
+    }
+    flips as f64 / samples as f64
+}
+
+/// Exact noise sensitivity from the Fourier spectrum:
+/// `NS_ε(f) = ½ − ½·Σ_S (1−2ε)^{|S|} f̂(S)²`.
+///
+/// Requires the dense spectrum, so small `n` only.
+pub fn noise_sensitivity_exact(spectrum: &crate::fourier::FourierExpansion, eps: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&eps));
+    let rho = 1.0 - 2.0 * eps;
+    let mut stab = 0.0;
+    for (s, c) in spectrum.coefficients().iter().enumerate() {
+        stab += rho.powi((s as u64).count_ones() as i32) * c * c;
+    }
+    0.5 - 0.5 * stab
+}
+
+/// The theoretical LTF noise-sensitivity scale `√ε` (Peres' theorem gives
+/// `NS_ε(LTF) ≤ O(√ε)`; the constant is ≈ 0.8907 for the majority-like
+/// worst case).
+pub fn ltf_noise_sensitivity_bound(eps: f64) -> f64 {
+    0.8907 * eps.sqrt()
+}
+
+/// The combiner bound of Klivans–O'Donnell–Servedio used by Corollary 1:
+/// `NS_ε(g(f_1,…,f_k)) ≤ k·O(√ε)` for arbitrary `g` and LTFs `f_i`.
+pub fn xor_ltf_noise_sensitivity_bound(k: usize, eps: f64) -> f64 {
+    k as f64 * ltf_noise_sensitivity_bound(eps)
+}
+
+/// Estimates the influence of variable `i`:
+/// `Inf_i(f) = Pr[f(x) ≠ f(x ⊕ e_i)]`.
+pub fn influence<F, R>(f: &F, i: usize, samples: usize, rng: &mut R) -> f64
+where
+    F: BooleanFunction + ?Sized,
+    R: Rng + ?Sized,
+{
+    assert!(samples > 0);
+    let n = f.num_inputs();
+    assert!(i < n, "variable index out of range");
+    let mut flips = 0usize;
+    for _ in 0..samples {
+        let x = BitVec::random(n, rng);
+        let y = x.with_flipped(i);
+        if f.eval(&x) != f.eval(&y) {
+            flips += 1;
+        }
+    }
+    flips as f64 / samples as f64
+}
+
+/// Estimates the total influence `Σ_i Inf_i(f)` with `samples` pairs per
+/// variable.
+pub fn total_influence<F, R>(f: &F, samples: usize, rng: &mut R) -> f64
+where
+    F: BooleanFunction + ?Sized,
+    R: Rng + ?Sized,
+{
+    (0..f.num_inputs())
+        .map(|i| influence(f, i, samples, rng))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::TruthTable;
+    use crate::function::FnFunction;
+    use crate::ltf::LinearThreshold;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parity_noise_sensitivity_is_high() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let parity = FnFunction::new(32, |x: &BitVec| x.count_ones() % 2 == 1);
+        // NS_eps(parity_n) = (1-(1-2eps)^n)/2 -> 0.5 for large n.
+        let ns = noise_sensitivity(&parity, 0.1, 20_000, &mut rng);
+        let expect = 0.5 * (1.0 - (1.0f64 - 0.2).powi(32));
+        assert!((ns - expect).abs() < 0.02, "ns {ns} expect {expect}");
+    }
+
+    #[test]
+    fn ltf_noise_sensitivity_scales_like_sqrt_eps() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ltf = LinearThreshold::random(64, &mut rng);
+        let ns_small = noise_sensitivity(&ltf, 0.01, 30_000, &mut rng);
+        let ns_large = noise_sensitivity(&ltf, 0.16, 30_000, &mut rng);
+        // sqrt scaling: ratio should be near sqrt(16) = 4, far from 16.
+        let ratio = ns_large / ns_small.max(1e-9);
+        assert!(ratio > 2.0 && ratio < 8.0, "ratio {ratio}");
+        assert!(ns_small < ltf_noise_sensitivity_bound(0.01) * 2.0);
+    }
+
+    #[test]
+    fn exact_matches_sampled_for_small_function() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = TruthTable::random(8, &mut rng);
+        let exact = noise_sensitivity_exact(&t.fourier(), 0.1);
+        let sampled = noise_sensitivity(&t, 0.1, 60_000, &mut rng);
+        assert!((exact - sampled).abs() < 0.02, "exact {exact} sampled {sampled}");
+    }
+
+    #[test]
+    fn exact_noise_sensitivity_of_dictator() {
+        let t = TruthTable::from_fn(6, |x| x.get(3));
+        // NS_eps(dictator) = eps exactly.
+        let ns = noise_sensitivity_exact(&t.fourier(), 0.07);
+        assert!((ns - 0.07).abs() < 1e-12);
+    }
+
+    #[test]
+    fn influence_of_parity_is_one() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let parity = FnFunction::new(10, |x: &BitVec| x.count_ones() % 2 == 1);
+        let inf = influence(&parity, 4, 2000, &mut rng);
+        assert_eq!(inf, 1.0);
+    }
+
+    #[test]
+    fn influence_of_irrelevant_variable_is_zero() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let f = FnFunction::new(8, |x: &BitVec| x.get(0));
+        assert_eq!(influence(&f, 5, 2000, &mut rng), 0.0);
+        assert_eq!(influence(&f, 0, 2000, &mut rng), 1.0);
+    }
+
+    #[test]
+    fn total_influence_of_dictator_is_one() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let f = FnFunction::new(6, |x: &BitVec| x.get(2));
+        let ti = total_influence(&f, 3000, &mut rng);
+        assert!((ti - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn xor_bound_grows_linearly_in_k() {
+        let b1 = xor_ltf_noise_sensitivity_bound(1, 0.04);
+        let b4 = xor_ltf_noise_sensitivity_bound(4, 0.04);
+        assert!((b4 / b1 - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_noise_rate_never_flips() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let ltf = LinearThreshold::random(16, &mut rng);
+        assert_eq!(noise_sensitivity(&ltf, 0.0, 500, &mut rng), 0.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Enumeration of subsets `S ⊆ [n]` by cardinality, as `u64` masks.
+//!
+//! The low-degree (LMN) algorithm and the F2 interpolation learner both
+//! need to walk every subset of size at most `d`. [`SubsetsUpTo`] yields
+//! them in order of increasing cardinality, each cardinality in
+//! lexicographic mask order, using Gosper's hack.
+
+/// Iterator over all masks of `n`-bit subsets with `|S| <= max_size`,
+/// in order of increasing size.
+///
+/// # Example
+///
+/// ```
+/// use mlam_boolean::SubsetsUpTo;
+/// let masks: Vec<u64> = SubsetsUpTo::new(3, 1).collect();
+/// assert_eq!(masks, vec![0b000, 0b001, 0b010, 0b100]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SubsetsUpTo {
+    n: usize,
+    max_size: usize,
+    current_size: usize,
+    /// Next mask of the current size, or `None` when the size is
+    /// exhausted.
+    next_mask: Option<u64>,
+}
+
+impl SubsetsUpTo {
+    /// Creates the iterator for subsets of `[n]` of size at most
+    /// `max_size` (clamped to `n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 63`.
+    pub fn new(n: usize, max_size: usize) -> Self {
+        assert!(n <= 63, "subset masks limited to n <= 63, got {n}");
+        SubsetsUpTo {
+            n,
+            max_size: max_size.min(n),
+            current_size: 0,
+            next_mask: Some(0),
+        }
+    }
+
+    /// Number of masks this iterator yields in total:
+    /// `Σ_{k<=max_size} C(n,k)`.
+    pub fn count_total(n: usize, max_size: usize) -> u128 {
+        (0..=max_size.min(n)).map(|k| binomial(n, k)).sum()
+    }
+}
+
+/// Binomial coefficient `C(n, k)` as a `u128` (exact for the sizes used
+/// here).
+pub fn binomial(n: usize, k: usize) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut num: u128 = 1;
+    for i in 0..k {
+        num = num * (n - i) as u128 / (i + 1) as u128;
+    }
+    num
+}
+
+/// Gosper's hack: next larger integer with the same popcount, or `None`
+/// on overflow past `n` bits.
+fn next_same_popcount(v: u64, n: usize) -> Option<u64> {
+    if v == 0 {
+        return None;
+    }
+    let c = v & v.wrapping_neg();
+    let r = v + c;
+    if r == 0 {
+        return None;
+    }
+    let next = (((r ^ v) >> 2) / c) | r;
+    if next < (1u64 << n) {
+        Some(next)
+    } else {
+        None
+    }
+}
+
+impl Iterator for SubsetsUpTo {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        loop {
+            if self.current_size > self.max_size {
+                return None;
+            }
+            if let Some(mask) = self.next_mask {
+                self.next_mask = next_same_popcount(mask, self.n);
+                return Some(mask);
+            }
+            // Advance to the next cardinality.
+            self.current_size += 1;
+            if self.current_size > self.max_size || self.current_size > self.n {
+                self.current_size = self.max_size + 1;
+                return None;
+            }
+            self.next_mask = Some((1u64 << self.current_size) - 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn enumerates_all_subsets_up_to_size() {
+        let masks: Vec<u64> = SubsetsUpTo::new(4, 2).collect();
+        let expected_count = 1 + 4 + 6;
+        assert_eq!(masks.len(), expected_count);
+        assert_eq!(masks.len() as u128, SubsetsUpTo::count_total(4, 2));
+        let set: HashSet<u64> = masks.iter().copied().collect();
+        assert_eq!(set.len(), masks.len(), "duplicates produced");
+        for &m in &masks {
+            assert!(m < 16);
+            assert!(m.count_ones() <= 2);
+        }
+        // Every size-<=2 subset is present.
+        for m in 0u64..16 {
+            assert_eq!(set.contains(&m), m.count_ones() <= 2);
+        }
+    }
+
+    #[test]
+    fn sizes_are_nondecreasing() {
+        let masks: Vec<u64> = SubsetsUpTo::new(6, 4).collect();
+        let sizes: Vec<u32> = masks.iter().map(|m| m.count_ones()).collect();
+        assert!(sizes.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn full_enumeration_matches_power_set() {
+        let masks: Vec<u64> = SubsetsUpTo::new(5, 5).collect();
+        assert_eq!(masks.len(), 32);
+    }
+
+    #[test]
+    fn max_size_zero_yields_only_empty_set() {
+        let masks: Vec<u64> = SubsetsUpTo::new(10, 0).collect();
+        assert_eq!(masks, vec![0]);
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(10, 0), 1);
+        assert_eq!(binomial(10, 10), 1);
+        assert_eq!(binomial(3, 5), 0);
+        assert_eq!(binomial(64, 32), 1832624140942590534);
+    }
+
+    #[test]
+    fn large_n_small_degree() {
+        let masks: Vec<u64> = SubsetsUpTo::new(63, 1).collect();
+        assert_eq!(masks.len(), 64);
+    }
+}

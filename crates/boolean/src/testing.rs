@@ -1,0 +1,393 @@
+//! Property testing: how close is an unknown function to a halfspace?
+//!
+//! Section V-A.2 of the paper runs the halfspace tester of
+//! Matulef–O'Donnell–Rubinfeld–Servedio ("Testing Halfspaces", SICOMP
+//! 2010) on CRPs collected from BR PUFs and reports, per Table III, the
+//! minimum distance of each PUF from *any* halfspace. This module
+//! implements
+//!
+//! - the **Chow statistic** at the core of the MORS tester: the squared
+//!   degree-≤1 Fourier weight `W₁ = f̂(∅)² + Σᵢ f̂({i})²`, which is
+//!   `≥ 2/π − O(ε)` for every function ε-close to a halfspace but small
+//!   for functions far from all of them;
+//! - a **distance estimator**: the disagreement of `f` with the best
+//!   halfspace found by Chow reconstruction plus a pocket-perceptron
+//!   polish — an upper bound on the true distance, which is what a
+//!   practical tester (the paper's MATLAB code) reports;
+//! - [`HalfspaceTester`], bundling both into an accept/reject verdict at
+//!   chosen `(ε, δ)`.
+
+use crate::bits::BitVec;
+use crate::ltf::{ChowParameters, LinearThreshold};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Universal level-1 weight of halfspaces: any unbiased LTF has
+/// `Σᵢ f̂({i})² ≥ 2/π` asymptotically (majority is the extremal case);
+/// ε-closeness degrades this by `O(ε)`.
+pub const HALFSPACE_LEVEL_ONE_FLOOR: f64 = 2.0 / std::f64::consts::PI;
+
+/// Outcome of a halfspace test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The function is consistent with being (close to) a halfspace.
+    Halfspace,
+    /// The function is ε-far from every halfspace.
+    FarFromHalfspace,
+}
+
+/// Report of one run of the [`HalfspaceTester`].
+#[derive(Clone, Debug)]
+pub struct TesterReport {
+    /// Estimated squared degree-≤1 Fourier weight `W₁`.
+    pub level_one_weight: f64,
+    /// Estimated minimum distance to any halfspace, in `[0, 0.5]`:
+    /// the disagreement of the best halfspace the tester could construct.
+    pub distance_estimate: f64,
+    /// Accept/reject verdict at the tester's `eps`.
+    pub verdict: Verdict,
+    /// Number of labeled examples consumed.
+    pub examples_used: usize,
+}
+
+/// Halfspace property tester in the style of Matulef et al. \[28\].
+///
+/// Given `poly(1/ε)` uniformly distributed labeled examples it
+/// distinguishes halfspaces from functions ε-far from every halfspace,
+/// with confidence `δ`.
+///
+/// # Example
+///
+/// ```
+/// use mlam_boolean::testing::{HalfspaceTester, Verdict};
+/// use mlam_boolean::{BitVec, BooleanFunction, LinearThreshold};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let ltf = LinearThreshold::random(16, &mut rng);
+/// let data: Vec<(BitVec, bool)> = (0..4000)
+///     .map(|_| {
+///         let x = BitVec::random(16, &mut rng);
+///         let y = ltf.eval(&x);
+///         (x, y)
+///     })
+///     .collect();
+/// let report = HalfspaceTester::new(0.1, 0.99).run(16, &data, &mut rng);
+/// assert_eq!(report.verdict, Verdict::Halfspace);
+/// assert!(report.distance_estimate < 0.05);
+/// ```
+#[derive(Clone, Debug)]
+pub struct HalfspaceTester {
+    eps: f64,
+    delta: f64,
+    /// Pocket-perceptron polish epochs.
+    polish_epochs: usize,
+    /// Random fit/hold-out splits averaged per run.
+    splits: usize,
+}
+
+impl HalfspaceTester {
+    /// Creates a tester distinguishing halfspaces from functions
+    /// `eps`-far from every halfspace with confidence `delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps ∉ (0, 0.5]` or `delta ∉ (0, 1)`.
+    pub fn new(eps: f64, delta: f64) -> Self {
+        assert!(eps > 0.0 && eps <= 0.5, "eps must be in (0, 0.5]");
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+        HalfspaceTester {
+            eps,
+            delta,
+            polish_epochs: 30,
+            splits: 5,
+        }
+    }
+
+    /// Overrides the number of pocket-perceptron polish epochs
+    /// (default 30).
+    pub fn with_polish_epochs(mut self, epochs: usize) -> Self {
+        self.polish_epochs = epochs;
+        self
+    }
+
+    /// Overrides the number of averaged fit/hold-out splits
+    /// (default 5). More splits reduce the variance of the distance
+    /// estimate on small samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `splits == 0`.
+    pub fn with_splits(mut self, splits: usize) -> Self {
+        assert!(splits > 0, "need at least one split");
+        self.splits = splits;
+        self
+    }
+
+    /// Number of uniform examples the tester wants:
+    /// `O(log(1/(1-δ)) / ε²)` for the Chow statistic.
+    pub fn examples_needed(&self) -> usize {
+        let conf = (1.0 / (1.0 - self.delta)).ln().max(1.0);
+        ((conf / (self.eps * self.eps)).ceil() as usize).max(100)
+    }
+
+    /// Runs the tester on a labeled sample of uniform CRPs.
+    ///
+    /// Each of the configured splits uses 70 % of the sample to fit a
+    /// candidate halfspace (Chow LTF + pocket-perceptron polish) and
+    /// the held-out 30 % for an unbiased disagreement estimate; the
+    /// reported distance and Chow statistic are averaged over the
+    /// splits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or contains vectors of length ≠ `n`.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        data: &[(BitVec, bool)],
+        rng: &mut R,
+    ) -> TesterReport {
+        assert!(!data.is_empty(), "tester needs at least one example");
+        for (x, _) in data {
+            assert_eq!(x.len(), n, "example length mismatch");
+        }
+        let mut w1_sum = 0.0;
+        let mut distance_sum = 0.0;
+        for _ in 0..self.splits {
+            let mut shuffled: Vec<&(BitVec, bool)> = data.iter().collect();
+            shuffled.shuffle(rng);
+            let fit_len = ((shuffled.len() * 7) / 10).max(1);
+            let (fit, held) = shuffled.split_at(fit_len);
+            let held = if held.is_empty() { fit } else { held };
+
+            // 1. Chow statistic on the fitting split.
+            let fit_owned: Vec<(BitVec, bool)> =
+                fit.iter().map(|(x, y)| (x.clone(), *y)).collect();
+            let chow = ChowParameters::from_data(n, &fit_owned);
+            w1_sum += chow.level_one_weight();
+
+            // 2. Candidate halfspace: Chow LTF + pocket-perceptron polish.
+            let candidate = pocket_perceptron(
+                n,
+                &fit_owned,
+                Some(chow.to_ltf()),
+                self.polish_epochs,
+            );
+
+            // 3. Distance = held-out disagreement of the candidate.
+            distance_sum += disagreement(&candidate, held);
+        }
+        let w1 = w1_sum / self.splits as f64;
+        let distance = distance_sum / self.splits as f64;
+
+        // Verdict: far from every halfspace if BOTH the spectral
+        // signature is weak and no good halfspace was found. A halfspace
+        // that is merely biased can have small W1, so the constructive
+        // evidence (a candidate achieving distance < eps) dominates.
+        let verdict = if distance <= self.eps
+            || w1 >= HALFSPACE_LEVEL_ONE_FLOOR * (1.0 - 4.0 * self.eps)
+        {
+            Verdict::Halfspace
+        } else {
+            Verdict::FarFromHalfspace
+        };
+
+        TesterReport {
+            level_one_weight: w1,
+            distance_estimate: distance,
+            verdict,
+            examples_used: data.len(),
+        }
+    }
+}
+
+/// Fraction of `data` on which `ltf` disagrees with the labels.
+fn disagreement(ltf: &LinearThreshold, data: &[&(BitVec, bool)]) -> f64 {
+    let wrong = data
+        .iter()
+        .filter(|(x, y)| crate::function::BooleanFunction::eval(ltf, x) != *y)
+        .count();
+    wrong as f64 / data.len() as f64
+}
+
+/// Pocket perceptron: runs perceptron updates over the sample, keeping
+/// the best weight vector ("pocket") seen by training error. Used here
+/// only to *construct a candidate halfspace*; the full-featured learner
+/// lives in `mlam-learn`.
+///
+/// `init` optionally seeds the weights (e.g. from Chow parameters).
+pub fn pocket_perceptron(
+    n: usize,
+    data: &[(BitVec, bool)],
+    init: Option<LinearThreshold>,
+    epochs: usize,
+) -> LinearThreshold {
+    let (mut w, mut theta) = match init {
+        Some(ltf) => {
+            let mut w = ltf.weights().to_vec();
+            w.resize(n, 0.0);
+            (w, ltf.threshold())
+        }
+        None => (vec![0.0; n], 0.0),
+    };
+    let mut best_w = w.clone();
+    let mut best_theta = theta;
+    let mut best_err = usize::MAX;
+
+    let err_of = |w: &[f64], theta: f64| -> usize {
+        data.iter()
+            .filter(|(x, y)| {
+                let mut s = -theta;
+                for (i, wi) in w.iter().enumerate() {
+                    s += wi * x.pm(i);
+                }
+                crate::to_bool(s) != *y
+            })
+            .count()
+    };
+
+    let initial_err = err_of(&w, theta);
+    if initial_err < best_err {
+        best_err = initial_err;
+        best_w = w.clone();
+        best_theta = theta;
+    }
+
+    for _ in 0..epochs {
+        let mut updated = false;
+        for (x, y) in data {
+            let target = crate::to_pm(*y);
+            let mut s = -theta;
+            for (i, wi) in w.iter().enumerate() {
+                s += wi * x.pm(i);
+            }
+            let predicted = if s <= 0.0 { -1.0 } else { 1.0 };
+            if predicted != target {
+                for (i, wi) in w.iter_mut().enumerate() {
+                    *wi += target * x.pm(i);
+                }
+                theta -= target;
+                updated = true;
+            }
+        }
+        let err = err_of(&w, theta);
+        if err < best_err {
+            best_err = err;
+            best_w = w.clone();
+            best_theta = theta;
+        }
+        if best_err == 0 || !updated {
+            break;
+        }
+    }
+    LinearThreshold::new(best_w, best_theta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::{BooleanFunction, FnFunction};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample<F: BooleanFunction>(
+        f: &F,
+        m: usize,
+        rng: &mut StdRng,
+    ) -> Vec<(BitVec, bool)> {
+        (0..m)
+            .map(|_| {
+                let x = BitVec::random(f.num_inputs(), rng);
+                let y = f.eval(&x);
+                (x, y)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn accepts_random_ltf() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for seed in 0..3 {
+            let mut frng = StdRng::seed_from_u64(100 + seed);
+            let ltf = LinearThreshold::random(20, &mut frng);
+            let data = sample(&ltf, 5000, &mut rng);
+            let rep = HalfspaceTester::new(0.1, 0.95).run(20, &data, &mut rng);
+            assert_eq!(rep.verdict, Verdict::Halfspace, "seed {seed}: {rep:?}");
+            assert!(rep.distance_estimate < 0.06, "{rep:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_parity() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let parity = FnFunction::new(16, |x: &BitVec| x.count_ones() % 2 == 1);
+        let data = sample(&parity, 6000, &mut rng);
+        let rep = HalfspaceTester::new(0.1, 0.95).run(16, &data, &mut rng);
+        assert_eq!(rep.verdict, Verdict::FarFromHalfspace, "{rep:?}");
+        assert!(rep.level_one_weight < 0.05, "{rep:?}");
+        assert!(rep.distance_estimate > 0.3, "{rep:?}");
+    }
+
+    #[test]
+    fn rejects_two_bit_inner_product() {
+        // IP(x) = x0x1 ⊕ x2x3 ⊕ ... is far from halfspaces.
+        let mut rng = StdRng::seed_from_u64(3);
+        let ip = FnFunction::new(16, |x: &BitVec| {
+            let mut acc = false;
+            for i in (0..16).step_by(2) {
+                acc ^= x.get(i) && x.get(i + 1);
+            }
+            acc
+        });
+        let data = sample(&ip, 8000, &mut rng);
+        let rep = HalfspaceTester::new(0.1, 0.95).run(16, &data, &mut rng);
+        assert_eq!(rep.verdict, Verdict::FarFromHalfspace, "{rep:?}");
+    }
+
+    #[test]
+    fn pocket_perceptron_fits_separable_data() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let target = LinearThreshold::random(10, &mut rng);
+        let data = sample(&target, 800, &mut rng);
+        let fit = pocket_perceptron(10, &data, None, 100);
+        let refs: Vec<&(BitVec, bool)> = data.iter().collect();
+        assert_eq!(disagreement(&fit, &refs), 0.0);
+    }
+
+    #[test]
+    fn chow_init_speeds_up_fit() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let target = LinearThreshold::random(12, &mut rng);
+        let data = sample(&target, 1500, &mut rng);
+        let chow = ChowParameters::from_data(12, &data);
+        let fit = pocket_perceptron(12, &data, Some(chow.to_ltf()), 3);
+        let refs: Vec<&(BitVec, bool)> = data.iter().collect();
+        assert!(disagreement(&fit, &refs) < 0.03);
+    }
+
+    #[test]
+    fn examples_needed_scales_with_eps() {
+        let few = HalfspaceTester::new(0.2, 0.9).examples_needed();
+        let many = HalfspaceTester::new(0.05, 0.9).examples_needed();
+        assert!(many > few);
+    }
+
+    #[test]
+    fn distance_estimate_is_at_most_half_for_balanced_targets() {
+        // Even for the worst function the pocket candidate can trivially
+        // reach <= 0.5 by majority voting; verify on parity.
+        let mut rng = StdRng::seed_from_u64(6);
+        let parity = FnFunction::new(12, |x: &BitVec| x.count_ones() % 2 == 1);
+        let data = sample(&parity, 4000, &mut rng);
+        let rep = HalfspaceTester::new(0.1, 0.9).run(12, &data, &mut rng);
+        assert!(rep.distance_estimate <= 0.55, "{rep:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one example")]
+    fn empty_sample_panics() {
+        let mut rng = StdRng::seed_from_u64(7);
+        HalfspaceTester::new(0.1, 0.9).run(4, &[], &mut rng);
+    }
+}

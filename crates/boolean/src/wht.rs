@@ -1,0 +1,133 @@
+//! Fast Walsh–Hadamard transform (WHT).
+//!
+//! The WHT maps a function table indexed by `x ∈ {0,1}^n` into the table
+//! of (unnormalized) Fourier coefficients indexed by subset masks
+//! `S ⊆ [n]`, in `O(n·2^n)` time. It is the workhorse behind exact Fourier
+//! expansions and exact Chow parameters for small `n`.
+
+/// In-place fast Walsh–Hadamard transform of a `f64` buffer.
+///
+/// The buffer length must be a power of two. The transform is its own
+/// inverse up to a factor of `len`: applying it twice multiplies every
+/// entry by `len`.
+///
+/// With input `t[x] = f(x)` (±1 values, `x` read as a bit mask), the
+/// output at index `S` equals `Σ_x f(x)·(-1)^{|x∧S|} = 2^n · f̂(S)` for
+/// the ±1 character convention of the paper.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+///
+/// # Example
+///
+/// ```
+/// let mut t = vec![1.0, 1.0, 1.0, -1.0]; // AND-like table
+/// mlam_boolean::wht::walsh_hadamard(&mut t);
+/// assert_eq!(t, vec![2.0, 2.0, 2.0, -2.0]);
+/// ```
+pub fn walsh_hadamard(data: &mut [f64]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "WHT length must be a power of two");
+    let mut h = 1;
+    while h < n {
+        for chunk in data.chunks_exact_mut(2 * h) {
+            let (lo, hi) = chunk.split_at_mut(h);
+            for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                let (x, y) = (*a, *b);
+                *a = x + y;
+                *b = x - y;
+            }
+        }
+        h *= 2;
+    }
+}
+
+/// In-place fast Walsh–Hadamard transform of an `i64` buffer.
+///
+/// Identical to [`walsh_hadamard`] but exact over integers, which keeps
+/// Fourier coefficients of ±1 tables free of rounding error.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn walsh_hadamard_i64(data: &mut [i64]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "WHT length must be a power of two");
+    let mut h = 1;
+    while h < n {
+        for chunk in data.chunks_exact_mut(2 * h) {
+            let (lo, hi) = chunk.split_at_mut(h);
+            for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                let (x, y) = (*a, *b);
+                *a = x + y;
+                *b = x - y;
+            }
+        }
+        h *= 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn self_inverse_up_to_scaling() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let orig: Vec<f64> = (0..64).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut t = orig.clone();
+        walsh_hadamard(&mut t);
+        walsh_hadamard(&mut t);
+        for (a, b) in t.iter().zip(&orig) {
+            assert!((a - b * 64.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn integer_matches_float() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let vals: Vec<i64> = (0..32).map(|_| if rng.gen() { 1 } else { -1 }).collect();
+        let mut fi = vals.clone();
+        let mut ff: Vec<f64> = vals.iter().map(|&v| v as f64).collect();
+        walsh_hadamard_i64(&mut fi);
+        walsh_hadamard(&mut ff);
+        for (a, b) in fi.iter().zip(&ff) {
+            assert_eq!(*a as f64, *b);
+        }
+    }
+
+    #[test]
+    fn parity_concentrates_on_full_mask() {
+        // f(x) = (-1)^{x0 ^ x1}: table in ±1 is [1, -1, -1, 1].
+        let mut t = vec![1i64, -1, -1, 1];
+        walsh_hadamard_i64(&mut t);
+        assert_eq!(t, vec![0, 0, 0, 4]);
+    }
+
+    #[test]
+    fn constant_concentrates_on_empty_mask() {
+        let mut t = vec![1i64; 8];
+        walsh_hadamard_i64(&mut t);
+        assert_eq!(t[0], 8);
+        assert!(t[1..].iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        walsh_hadamard(&mut [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let vals: Vec<f64> = (0..128).map(|_| if rng.gen() { 1.0 } else { -1.0 }).collect();
+        let mut t = vals.clone();
+        walsh_hadamard(&mut t);
+        let sum_sq: f64 = t.iter().map(|v| (v / 128.0).powi(2)).sum();
+        assert!((sum_sq - 1.0).abs() < 1e-9, "Parseval violated: {sum_sq}");
+    }
+}

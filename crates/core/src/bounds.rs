@@ -1,0 +1,228 @@
+//! The analytic CRP bounds of Table I, as executable formulas.
+//!
+//! Each row of Table I bounds the number of CRPs needed to PAC-learn an
+//! `n`-bit, `k`-chain XOR Arbiter PUF to accuracy `1−ε` with confidence
+//! `1−δ` — in a *different* adversary model, which is the point:
+//!
+//! | Row | Bound | Distribution | Algorithm | Access |
+//! |---|---|---|---|---|
+//! | \[9\] | `O((n+1)^k/ε³ + ln(1/δ)/ε)` | arbitrary | Perceptron | random examples |
+//! | General | `O((k(n+1)(1+ln(kn+k))·ln(1/ε) + ln(1/δ))/ε)` | uniform | any (VC) | uniform examples |
+//! | Cor. 1 | `O(n^{k²/ε²}·ln(1/δ))` | uniform | LMN | uniform examples |
+//! | Cor. 2 | `poly(n, k, 1/ε, log(1/δ))` | uniform | LearnPoly | membership queries |
+
+use crate::adversary::{AccessModel, AdversaryModel, DistributionModel, InferenceGoal, RepresentationModel};
+use serde::{Deserialize, Serialize};
+
+/// Row 1 of Table I: the Perceptron mistake-bound result of \[9\]:
+/// `(n+1)^k/ε³ + ln(1/δ)/ε` (big-O constants set to 1).
+///
+/// # Panics
+///
+/// Panics unless `ε, δ ∈ (0, 1)` and `n, k ≥ 1`.
+pub fn perceptron_bound(n: usize, k: usize, eps: f64, delta: f64) -> f64 {
+    validate(n, k, eps, delta);
+    ((n + 1) as f64).powi(k as i32) / eps.powi(3) + (1.0 / delta).ln() / eps
+}
+
+/// Row 2: the algorithm-independent VC bound (Blumer et al. \[12\]) with
+/// `VCdim = O(k(n+1)(1+log(kn+k)))` \[17\]:
+/// `(k(n+1)(1+ln(kn+k))·ln(1/ε) + ln(1/δ))/ε`.
+pub fn general_vc_bound(n: usize, k: usize, eps: f64, delta: f64) -> f64 {
+    validate(n, k, eps, delta);
+    let vc = k as f64 * (n + 1) as f64 * (1.0 + ((k * n + k) as f64).ln());
+    (vc * (1.0 / eps).ln() + (1.0 / delta).ln()) / eps
+}
+
+/// Row 3 (Corollary 1): the LMN bound `n^{2.32·k²/ε²}·ln(1/δ)`,
+/// returned as `log₁₀` because the raw value overflows for every
+/// interesting parameter choice — which is the paper's point about
+/// `k ≫ √(ln n)`.
+pub fn lmn_bound_log10(n: usize, k: usize, eps: f64, delta: f64) -> f64 {
+    validate(n, k, eps, delta);
+    let degree = 2.32 * (k * k) as f64 / (eps * eps);
+    degree * (n as f64).log10() + (1.0 / delta).ln().max(1.0).log10()
+}
+
+/// Row 4 (Corollary 2): a concrete polynomial witness for the
+/// `poly(n, k, 1/ε, log(1/δ))` membership-query bound: the Möbius
+/// interpolation budget `Σ_{j≤r} C(n,j)` at junta size
+/// `r = ⌈ε^{−3/2}⌉` per chain times `k`, plus the equivalence
+/// simulation `ln(1/δ)/ε`.
+pub fn learnpoly_bound(n: usize, k: usize, eps: f64, delta: f64) -> f64 {
+    validate(n, k, eps, delta);
+    let r = eps.powf(-1.5).ceil() as usize;
+    let mut budget = 0.0f64;
+    for j in 0..=r.min(n) {
+        budget += binomial_f64(n, j);
+        if budget > 1e300 {
+            break;
+        }
+    }
+    k as f64 * budget + (1.0 / delta).ln() / eps
+}
+
+fn binomial_f64(n: usize, k: usize) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc *= (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+fn validate(n: usize, k: usize, eps: f64, delta: f64) {
+    assert!(n >= 1 && k >= 1, "n and k must be positive");
+    assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+}
+
+/// All four Table I rows for one parameter point.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TableOne {
+    /// Stages per chain.
+    pub n: usize,
+    /// Number of chains.
+    pub k: usize,
+    /// Accuracy parameter ε.
+    pub eps: f64,
+    /// Confidence parameter δ.
+    pub delta: f64,
+    /// Row 1: Perceptron bound of \[9\].
+    pub perceptron_bound: f64,
+    /// Row 2: algorithm-independent VC bound.
+    pub general_bound: f64,
+    /// Row 3: LMN bound, as log₁₀ of the CRP count.
+    pub lmn_bound_log10: f64,
+    /// Row 4: LearnPoly membership-query bound.
+    pub learnpoly_bound: f64,
+}
+
+impl TableOne {
+    /// Computes every row at `(n, k, eps, delta)`.
+    pub fn compute(n: usize, k: usize, eps: f64, delta: f64) -> Self {
+        TableOne {
+            n,
+            k,
+            eps,
+            delta,
+            perceptron_bound: perceptron_bound(n, k, eps, delta),
+            general_bound: general_vc_bound(n, k, eps, delta),
+            lmn_bound_log10: lmn_bound_log10(n, k, eps, delta),
+            learnpoly_bound: learnpoly_bound(n, k, eps, delta),
+        }
+    }
+
+    /// The adversary model of each row, in table order — the settings
+    /// column of Table I as values.
+    pub fn settings() -> [AdversaryModel; 4] {
+        [
+            AdversaryModel {
+                distribution: DistributionModel::Arbitrary,
+                access: AccessModel::RandomExamples,
+                representation: RepresentationModel::proper("XOR of LTFs"),
+                goal: InferenceGoal::Approximate,
+            },
+            AdversaryModel {
+                distribution: DistributionModel::Uniform,
+                access: AccessModel::RandomExamples,
+                representation: RepresentationModel::Improper,
+                goal: InferenceGoal::Approximate,
+            },
+            AdversaryModel {
+                distribution: DistributionModel::Uniform,
+                access: AccessModel::RandomExamples,
+                representation: RepresentationModel::Improper,
+                goal: InferenceGoal::Approximate,
+            },
+            AdversaryModel {
+                distribution: DistributionModel::Uniform,
+                access: AccessModel::MembershipQueries,
+                representation: RepresentationModel::Improper,
+                goal: InferenceGoal::Exact,
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perceptron_bound_is_exponential_in_k() {
+        let b2 = perceptron_bound(64, 2, 0.05, 0.01);
+        let b4 = perceptron_bound(64, 4, 0.05, 0.01);
+        // Doubling k squares the dominant term.
+        let ratio = b4 / b2;
+        assert!(
+            (ratio - 65.0f64.powi(2)).abs() / 65.0f64.powi(2) < 0.01,
+            "ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn general_bound_is_polynomial_and_smaller() {
+        for k in 2..=6 {
+            let t = TableOne::compute(64, k, 0.05, 0.01);
+            assert!(
+                t.general_bound < t.perceptron_bound,
+                "k={k}: VC {} vs Perceptron {}",
+                t.general_bound,
+                t.perceptron_bound
+            );
+        }
+        // Polynomial: multiplying k by 4 multiplies the bound by ~4-ish
+        // (up to the log factor), not exponentially.
+        let b1 = general_vc_bound(64, 1, 0.05, 0.01);
+        let b4 = general_vc_bound(64, 4, 0.05, 0.01);
+        assert!(b4 / b1 < 8.0);
+    }
+
+    #[test]
+    fn lmn_bound_explodes_past_sqrt_log_n() {
+        // k = 1 at eps = 0.5: manageable.
+        let small = lmn_bound_log10(64, 1, 0.5, 0.01);
+        // k = 8: astronomically large (log10 in the thousands).
+        let large = lmn_bound_log10(64, 8, 0.5, 0.01);
+        assert!(small < 30.0, "small {small}");
+        assert!(large > 1000.0, "large {large}");
+    }
+
+    #[test]
+    fn learnpoly_bound_is_polynomial_in_n() {
+        let b64 = learnpoly_bound(64, 2, 0.3, 0.01);
+        let b128 = learnpoly_bound(128, 2, 0.3, 0.01);
+        // r = ceil(0.3^-1.5) = 7; budget ~ C(n,7) ~ n^7/5040: doubling n
+        // multiplies by ~2^7.
+        let ratio = b128 / b64;
+        assert!(ratio > 50.0 && ratio < 300.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn settings_match_the_paper_table() {
+        let s = TableOne::settings();
+        assert_eq!(s[0].distribution, DistributionModel::Arbitrary);
+        assert_eq!(s[1].distribution, DistributionModel::Uniform);
+        assert_eq!(s[3].access, AccessModel::MembershipQueries);
+        assert_eq!(s[0].access, AccessModel::RandomExamples);
+    }
+
+    #[test]
+    fn bounds_shrink_with_looser_eps() {
+        assert!(
+            perceptron_bound(32, 2, 0.2, 0.01) < perceptron_bound(32, 2, 0.05, 0.01)
+        );
+        assert!(general_vc_bound(32, 2, 0.2, 0.01) < general_vc_bound(32, 2, 0.05, 0.01));
+        assert!(lmn_bound_log10(32, 2, 0.2, 0.01) < lmn_bound_log10(32, 2, 0.05, 0.01));
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be in")]
+    fn invalid_eps_panics() {
+        perceptron_bound(8, 1, 1.5, 0.01);
+    }
+}

@@ -1,0 +1,191 @@
+//! Logic-locking attack comparison: SAT (exact, membership queries) vs.
+//! AppSAT (approximate) vs. the pure random-example PAC attack — the
+//! access-model axis quantified on circuits (Sections II-A, IV-A, V-A).
+
+use crate::report::{pct, Table};
+use mlam_locking::appsat::{appsat, AppSatConfig};
+use mlam_locking::combinational::lock_xor;
+use mlam_locking::pac_attack::{pac_attack, PacAttackConfig};
+use mlam_locking::sat_attack::{sat_attack, SatAttackConfig};
+use mlam_netlist::generate::random_circuit;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the locking experiment.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LockingParams {
+    /// Primary input count of the generated circuits.
+    pub inputs: usize,
+    /// Gate count of the generated circuits.
+    pub gates: usize,
+    /// Output count.
+    pub outputs: usize,
+    /// Key widths to sweep.
+    pub key_widths: Vec<usize>,
+    /// Circuits per key width (results averaged).
+    pub trials: usize,
+}
+
+impl LockingParams {
+    /// Full scale.
+    pub fn paper() -> Self {
+        LockingParams {
+            inputs: 12,
+            gates: 80,
+            outputs: 3,
+            key_widths: vec![4, 8, 12, 16, 24, 32],
+            trials: 3,
+        }
+    }
+
+    /// Reduced scale for tests.
+    pub fn quick() -> Self {
+        LockingParams {
+            inputs: 8,
+            gates: 40,
+            outputs: 2,
+            key_widths: vec![4, 8],
+            trials: 1,
+        }
+    }
+}
+
+/// One sweep point (averages over trials).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LockingRow {
+    /// Key width.
+    pub key_bits: usize,
+    /// Mean SAT-attack DIP iterations.
+    pub sat_dips: f64,
+    /// Fraction of trials where the SAT attack recovered a functionally
+    /// correct key.
+    pub sat_success: f64,
+    /// Mean AppSAT accuracy.
+    pub appsat_accuracy: f64,
+    /// Mean AppSAT oracle interactions (DIPs + random queries).
+    pub appsat_queries: f64,
+    /// Mean PAC-attack accuracy.
+    pub pac_accuracy: f64,
+    /// Mean PAC-attack random examples.
+    pub pac_examples: f64,
+}
+
+/// Result of the locking experiment.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LockingResult {
+    /// One row per key width.
+    pub rows: Vec<LockingRow>,
+}
+
+impl LockingResult {
+    /// Renders the comparison.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(
+            "Logic locking: SAT vs AppSAT vs random-example PAC attack",
+            &[
+                "key bits",
+                "SAT DIPs",
+                "SAT success",
+                "AppSAT acc [%]",
+                "AppSAT queries",
+                "PAC acc [%]",
+                "PAC examples",
+            ],
+        );
+        for r in &self.rows {
+            t.row(&[
+                r.key_bits.to_string(),
+                format!("{:.1}", r.sat_dips),
+                pct(r.sat_success),
+                pct(r.appsat_accuracy),
+                format!("{:.0}", r.appsat_queries),
+                pct(r.pac_accuracy),
+                format!("{:.0}", r.pac_examples),
+            ]);
+        }
+        t
+    }
+}
+
+/// Runs the locking comparison.
+pub fn run_locking<R: Rng + ?Sized>(params: &LockingParams, rng: &mut R) -> LockingResult {
+    let rows = params
+        .key_widths
+        .iter()
+        .map(|&key_bits| {
+            let mut sat_dips = 0.0;
+            let mut sat_success = 0.0;
+            let mut appsat_acc = 0.0;
+            let mut appsat_q = 0.0;
+            let mut pac_acc = 0.0;
+            let mut pac_ex = 0.0;
+            for _ in 0..params.trials {
+                let oracle =
+                    random_circuit(params.inputs, params.gates, params.outputs, rng);
+                let locked = lock_xor(&oracle, key_bits, rng);
+
+                let sat = sat_attack(&locked, &oracle, SatAttackConfig::default());
+                sat_dips += sat.iterations as f64;
+                sat_success += f64::from(sat.key_is_functionally_correct);
+
+                let app = appsat(&locked, &oracle, AppSatConfig::default(), rng);
+                appsat_acc += app.estimated_accuracy;
+                appsat_q += (app.dip_iterations + app.random_queries) as f64;
+
+                let pac = pac_attack(&locked, &oracle, PacAttackConfig::default(), rng);
+                pac_acc += pac.estimated_accuracy;
+                pac_ex += pac.examples_used as f64;
+            }
+            let t = params.trials as f64;
+            LockingRow {
+                key_bits,
+                sat_dips: sat_dips / t,
+                sat_success: sat_success / t,
+                appsat_accuracy: appsat_acc / t,
+                appsat_queries: appsat_q / t,
+                pac_accuracy: pac_acc / t,
+                pac_examples: pac_ex / t,
+            }
+        })
+        .collect();
+    LockingResult { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_attacks_succeed_on_small_circuits() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let result = run_locking(&LockingParams::quick(), &mut rng);
+        for r in &result.rows {
+            assert_eq!(r.sat_success, 1.0, "SAT attack must recover every key");
+            assert!(r.appsat_accuracy > 0.9, "{r:?}");
+            assert!(r.pac_accuracy > 0.9, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn dips_grow_with_key_width() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let result = run_locking(&LockingParams::quick(), &mut rng);
+        let first = result.rows.first().expect("rows");
+        let last = result.rows.last().expect("rows");
+        assert!(
+            last.sat_dips >= first.sat_dips,
+            "{} vs {}",
+            first.sat_dips,
+            last.sat_dips
+        );
+    }
+
+    #[test]
+    fn table_renders() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let result = run_locking(&LockingParams::quick(), &mut rng);
+        assert!(result.to_table().to_string().contains("AppSAT"));
+    }
+}

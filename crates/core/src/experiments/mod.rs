@@ -1,0 +1,25 @@
+//! Experiment drivers reproducing every table of the paper, plus the
+//! extension experiments and ablations inventoried in `DESIGN.md`.
+//!
+//! Each driver exposes a `Params` struct with two constructors —
+//! `paper()` (full scale, used by the benchmark binaries) and `quick()`
+//! (reduced scale, used by tests) — a typed result, and a rendering
+//! into [`crate::report::Table`] that mirrors the paper's layout.
+
+pub mod ablations;
+pub mod ac0;
+pub mod corollary2;
+pub mod exact_vs_approx;
+pub mod interpose;
+pub mod lockdown;
+pub mod locking;
+pub mod rocknroll;
+pub mod sequential;
+pub mod spectral;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+pub use table1::{run_table1, Table1Params, Table1Result};
+pub use table2::{run_table2, Table2Params, Table2Result};
+pub use table3::{run_table3, Table3Params, Table3Result};

@@ -1,0 +1,68 @@
+//! # mlam — Machine-Learning Adversary Modeling for Hardware Systems
+//!
+//! A Rust reproduction of Ganji, Amir, Tajik, Forte and Seifert,
+//! *"Pitfalls in Machine Learning-based Adversary Modeling for Hardware
+//! Systems"*, DATE 2020.
+//!
+//! The paper's thesis: an ML-based security assessment of a hardware
+//! primitive is only meaningful relative to a fully specified
+//! **adversary model** with three axes —
+//!
+//! 1. the **distribution** of learning examples (arbitrary vs. uniform),
+//! 2. the **access** granted to the attacker (random examples,
+//!    membership queries, equivalence queries),
+//! 3. the **representations** used for the concept and the hypothesis
+//!    (proper vs. improper learning).
+//!
+//! This crate makes those axes first-class values ([`adversary`]),
+//! provides the paper's analytic CRP bounds ([`bounds`]), and drives
+//! every experiment of the evaluation section ([`experiments`]) on top
+//! of the workspace substrates:
+//!
+//! - [`mlam_boolean`]: Fourier analysis, LTFs/Chow parameters,
+//!   halfspace property testing;
+//! - [`mlam_puf`]: Arbiter / XOR Arbiter / Bistable Ring PUF simulators;
+//! - [`mlam_learn`]: from-scratch Perceptron, logistic regression,
+//!   CMA-ES, LMN, Chow reconstruction, F₂ interpolation and Angluin L*;
+//! - [`mlam_netlist`] / [`mlam_sat`] / [`mlam_locking`]: gate-level
+//!   circuits, a CDCL SAT solver and logic-locking schemes + attacks.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mlam::adversary::{AccessModel, AdversaryModel, DistributionModel};
+//! use mlam::bounds::TableOne;
+//!
+//! // The four Table I rows for a 64-stage, 4-chain XOR Arbiter PUF at
+//! // (eps, delta) = (0.05, 0.01):
+//! let table = TableOne::compute(64, 4, 0.05, 0.01);
+//! assert!(table.perceptron_bound > table.general_bound);
+//!
+//! // The pitfall detector: a distribution-free security claim is not
+//! // refuted by a uniform-distribution attack...
+//! let claim = AdversaryModel::distribution_free_claim();
+//! let attack = AdversaryModel::uniform_example_attack();
+//! let verdict = claim.comparability(&attack);
+//! assert!(!verdict.is_comparable());
+//! ```
+
+pub mod adversary;
+pub mod attack;
+pub mod bounds;
+pub mod experiments;
+pub mod report;
+
+pub use adversary::{
+    AccessModel, AdversaryModel, Comparability, DistributionModel, Pitfall,
+    RepresentationModel,
+};
+pub use attack::AttackReport;
+pub use bounds::TableOne;
+
+// Re-export the substrate crates under one roof.
+pub use mlam_boolean as boolean;
+pub use mlam_learn as learn;
+pub use mlam_locking as locking;
+pub use mlam_netlist as netlist;
+pub use mlam_puf as puf;
+pub use mlam_sat as sat;

@@ -1,0 +1,156 @@
+//! Lightweight table formatting for experiment output.
+//!
+//! Every experiment driver renders its result through [`Table`], so the
+//! benchmark binaries print the same row/column layout the paper uses.
+
+use std::fmt;
+
+/// A simple column-aligned text table with a title.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header's.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "cell count mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Appends a row of displayable items.
+    pub fn row_display<T: fmt::Display>(&mut self, cells: &[T]) -> &mut Self {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&cells)
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The rows, as strings.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Renders as GitHub-flavored Markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        out.push_str(&format!("| {} |\n", self.header.join(" | ")));
+        out.push_str(&format!(
+            "|{}|\n",
+            self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Column widths.
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "{}", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            writeln!(f, "  {}", padded.join("  "))
+        };
+        line(f, &self.header)?;
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        line(f, &rule)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a fraction as a percentage with two decimals (Table II
+/// style).
+pub fn pct(v: f64) -> String {
+    format!("{:.2}", v * 100.0)
+}
+
+/// Formats a large count in engineering notation.
+pub fn eng(v: f64) -> String {
+    if !v.is_finite() {
+        return "inf".into();
+    }
+    if v == 0.0 {
+        return "0".into();
+    }
+    let exp = v.abs().log10().floor();
+    if (0.0..6.0).contains(&exp) {
+        format!("{v:.0}")
+    } else {
+        format!("{:.2}e{}", v / 10f64.powf(exp), exp as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_text() {
+        let mut t = Table::new("Demo", &["a", "long-header", "c"]);
+        t.row_display(&["1", "2", "3"]);
+        t.row_display(&["wide-cell", "x", "y"]);
+        let s = t.to_string();
+        assert!(s.contains("Demo"));
+        assert!(s.contains("long-header"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn markdown_has_separator() {
+        let mut t = Table::new("T", &["x", "y"]);
+        t.row_display(&[1, 2]);
+        let md = t.to_markdown();
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn pct_and_eng() {
+        assert_eq!(pct(0.9312), "93.12");
+        assert_eq!(eng(1234.0), "1234");
+        assert_eq!(eng(0.0), "0");
+        assert_eq!(eng(f64::INFINITY), "inf");
+        assert!(eng(1.5e12).contains('e'));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count mismatch")]
+    fn wrong_row_width_panics() {
+        Table::new("T", &["a", "b"]).row_display(&[1]);
+    }
+}

@@ -1,0 +1,267 @@
+//! Deterministic finite automata — the hypothesis class of Angluin's L*.
+//!
+//! Section V-B of the paper: an obfuscated sequential circuit (an FSM
+//! with a hidden unlock path) can be attacked by learning its DFA
+//! representation with Angluin's algorithm, *and* the DFA output of L*
+//! is itself an improper representation of the underlying netlist FSM —
+//! another instance of the representation axis.
+
+use std::collections::{HashMap, VecDeque};
+
+/// A deterministic finite automaton over the alphabet `{0, …, k−1}`.
+///
+/// State `0` is the start state.
+///
+/// # Example
+///
+/// ```
+/// use mlam_learn::Dfa;
+///
+/// // Accepts words with an odd number of 1-symbols (alphabet {0,1}).
+/// let dfa = Dfa::new(2, vec![vec![0, 1], vec![1, 0]], vec![false, true]);
+/// assert!(dfa.accepts(&[1, 0, 1, 1]));
+/// assert!(!dfa.accepts(&[1, 1]));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Dfa {
+    alphabet: usize,
+    /// `transitions[state][symbol] = next state`.
+    transitions: Vec<Vec<usize>>,
+    accepting: Vec<bool>,
+}
+
+impl Dfa {
+    /// Creates a DFA.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tables are empty, row lengths differ from the
+    /// alphabet size, a transition target is out of range, or
+    /// `accepting.len()` differs from the state count.
+    pub fn new(alphabet: usize, transitions: Vec<Vec<usize>>, accepting: Vec<bool>) -> Self {
+        assert!(alphabet > 0, "alphabet must be non-empty");
+        assert!(!transitions.is_empty(), "need at least one state");
+        assert_eq!(transitions.len(), accepting.len(), "table size mismatch");
+        for row in &transitions {
+            assert_eq!(row.len(), alphabet, "transition row length");
+            for &t in row {
+                assert!(t < transitions.len(), "transition target out of range");
+            }
+        }
+        Dfa {
+            alphabet,
+            transitions,
+            accepting,
+        }
+    }
+
+    /// Alphabet size.
+    pub fn alphabet_size(&self) -> usize {
+        self.alphabet
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// The state reached from the start state on `word`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a symbol is outside the alphabet.
+    pub fn run(&self, word: &[usize]) -> usize {
+        let mut s = 0usize;
+        for &sym in word {
+            assert!(sym < self.alphabet, "symbol {sym} outside alphabet");
+            s = self.transitions[s][sym];
+        }
+        s
+    }
+
+    /// Whether the DFA accepts `word`.
+    pub fn accepts(&self, word: &[usize]) -> bool {
+        self.accepting[self.run(word)]
+    }
+
+    /// Whether state `s` is accepting.
+    pub fn is_accepting(&self, s: usize) -> bool {
+        self.accepting[s]
+    }
+
+    /// The transition table.
+    pub fn transitions(&self) -> &[Vec<usize>] {
+        &self.transitions
+    }
+
+    /// Finds a shortest word on which `self` and `other` disagree, via
+    /// BFS over the product automaton; `None` if the languages are
+    /// equal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alphabets differ.
+    pub fn shortest_disagreement(&self, other: &Dfa) -> Option<Vec<usize>> {
+        assert_eq!(self.alphabet, other.alphabet, "alphabet mismatch");
+        let mut seen: HashMap<(usize, usize), ()> = HashMap::new();
+        let mut queue: VecDeque<(usize, usize, Vec<usize>)> = VecDeque::new();
+        queue.push_back((0, 0, Vec::new()));
+        seen.insert((0, 0), ());
+        while let Some((a, b, word)) = queue.pop_front() {
+            if self.accepting[a] != other.accepting[b] {
+                return Some(word);
+            }
+            for sym in 0..self.alphabet {
+                let na = self.transitions[a][sym];
+                let nb = other.transitions[b][sym];
+                if seen.insert((na, nb), ()).is_none() {
+                    let mut w = word.clone();
+                    w.push(sym);
+                    queue.push_back((na, nb, w));
+                }
+            }
+        }
+        None
+    }
+
+    /// Minimizes the DFA (Hopcroft-style partition refinement over the
+    /// reachable part), returning an equivalent DFA with the minimum
+    /// number of states.
+    pub fn minimized(&self) -> Dfa {
+        // Restrict to reachable states.
+        let mut reach = vec![false; self.num_states()];
+        let mut queue = VecDeque::from([0usize]);
+        reach[0] = true;
+        while let Some(s) = queue.pop_front() {
+            for sym in 0..self.alphabet {
+                let t = self.transitions[s][sym];
+                if !reach[t] {
+                    reach[t] = true;
+                    queue.push_back(t);
+                }
+            }
+        }
+        let states: Vec<usize> = (0..self.num_states()).filter(|&s| reach[s]).collect();
+
+        // Initial partition by acceptance; refine until stable.
+        let mut class = vec![0usize; self.num_states()];
+        for &s in &states {
+            class[s] = usize::from(self.accepting[s]);
+        }
+        loop {
+            // Signature = (class, classes of successors).
+            let mut sig_to_class: HashMap<Vec<usize>, usize> = HashMap::new();
+            let mut next_class = vec![0usize; self.num_states()];
+            for &s in &states {
+                let mut sig = vec![class[s]];
+                for sym in 0..self.alphabet {
+                    sig.push(class[self.transitions[s][sym]]);
+                }
+                let next_id = sig_to_class.len();
+                let id = *sig_to_class.entry(sig).or_insert(next_id);
+                next_class[s] = id;
+            }
+            if states.iter().all(|&s| next_class[s] == class[s]) {
+                break;
+            }
+            class = next_class;
+        }
+
+        // Build the quotient with the start state's class first.
+        let num_classes = states.iter().map(|&s| class[s]).max().unwrap_or(0) + 1;
+        let mut order = vec![usize::MAX; num_classes];
+        let mut count = 0usize;
+        order[class[0]] = 0;
+        count += 1;
+        for &s in &states {
+            if order[class[s]] == usize::MAX {
+                order[class[s]] = count;
+                count += 1;
+            }
+        }
+        let mut transitions = vec![vec![0usize; self.alphabet]; count];
+        let mut accepting = vec![false; count];
+        for &s in &states {
+            let c = order[class[s]];
+            accepting[c] = self.accepting[s];
+            for sym in 0..self.alphabet {
+                transitions[c][sym] = order[class[self.transitions[s][sym]]];
+            }
+        }
+        Dfa::new(self.alphabet, transitions, accepting)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parity_dfa() -> Dfa {
+        Dfa::new(2, vec![vec![0, 1], vec![1, 0]], vec![false, true])
+    }
+
+    #[test]
+    fn parity_acceptance() {
+        let d = parity_dfa();
+        assert!(!d.accepts(&[]));
+        assert!(d.accepts(&[1]));
+        assert!(!d.accepts(&[1, 1]));
+        assert!(d.accepts(&[1, 0, 0, 1, 1]));
+    }
+
+    #[test]
+    fn shortest_disagreement_none_for_equal() {
+        let a = parity_dfa();
+        let b = parity_dfa();
+        assert_eq!(a.shortest_disagreement(&b), None);
+    }
+
+    #[test]
+    fn shortest_disagreement_finds_minimal_witness() {
+        let parity = parity_dfa();
+        // "Always reject" machine.
+        let reject = Dfa::new(2, vec![vec![0, 0]], vec![false]);
+        let w = parity.shortest_disagreement(&reject).expect("must differ");
+        assert_eq!(w, vec![1], "shortest separating word is '1'");
+    }
+
+    #[test]
+    fn minimization_collapses_duplicate_states() {
+        // Two redundant copies of the parity automaton glued together.
+        let big = Dfa::new(
+            2,
+            vec![vec![0, 1], vec![1, 0], vec![2, 3], vec![3, 2]],
+            vec![false, true, false, true],
+        );
+        let min = big.minimized();
+        assert_eq!(min.num_states(), 2);
+        assert_eq!(min.shortest_disagreement(&parity_dfa()), None);
+    }
+
+    #[test]
+    fn minimization_preserves_language() {
+        // Machine accepting words ending in symbol 1 with a useless state.
+        let d = Dfa::new(
+            2,
+            vec![vec![0, 1], vec![0, 1], vec![2, 2]],
+            vec![false, true, true],
+        );
+        let min = d.minimized();
+        assert!(min.num_states() <= 2);
+        for w in [vec![], vec![1], vec![0, 1], vec![1, 0], vec![1, 1, 0]] {
+            assert_eq!(d.accepts(&w), min.accepts(&w), "word {w:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside alphabet")]
+    fn bad_symbol_panics() {
+        parity_dfa().run(&[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "target out of range")]
+    fn bad_transition_panics() {
+        Dfa::new(1, vec![vec![5]], vec![false]);
+    }
+}

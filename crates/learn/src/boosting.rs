@@ -1,0 +1,286 @@
+//! AdaBoost — boosting weak learners into a strong improper hypothesis.
+//!
+//! Boosting is the textbook witness for the paper's Section V-B claim
+//! that *improper* learning is strictly more powerful: the ensemble
+//! `sign(Σ α_t·h_t)` lies far outside the weak learners' class, and the
+//! classic equivalence "weakly learnable ⇔ strongly learnable" only
+//! holds because the booster may output it anyway.
+//!
+//! The weak learners here are decision stumps over parity features
+//! (single bits by default, arbitrary masks if configured), which is
+//! enough to boost through mildly nonlinear PUFs and to demonstrate
+//! margin-style convergence.
+
+use crate::dataset::LabeledSet;
+use mlam_boolean::{to_pm, BitVec, BooleanFunction};
+
+/// A decision stump: predicts `polarity · χ_mask(x)` (±1 encoding).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ParityStump {
+    /// The parity feature mask (0 = constant stump).
+    pub mask: u64,
+    /// +1.0 or −1.0.
+    pub polarity: f64,
+}
+
+impl ParityStump {
+    fn predict(&self, x: &BitVec) -> f64 {
+        let chi = if x.parity_masked(self.mask) { -1.0 } else { 1.0 };
+        self.polarity * chi
+    }
+}
+
+/// The boosted ensemble: `sign(Σ α_t · stump_t(x))`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BoostedStumps {
+    n: usize,
+    members: Vec<(f64, ParityStump)>,
+}
+
+impl BoostedStumps {
+    /// The weighted members `(α_t, stump_t)`.
+    pub fn members(&self) -> &[(f64, ParityStump)] {
+        &self.members
+    }
+
+    /// The real-valued margin `Σ α_t·h_t(x)`.
+    pub fn margin(&self, x: &BitVec) -> f64 {
+        self.members
+            .iter()
+            .map(|(a, s)| a * s.predict(x))
+            .sum()
+    }
+}
+
+impl BooleanFunction for BoostedStumps {
+    fn num_inputs(&self) -> usize {
+        self.n
+    }
+
+    fn eval(&self, x: &BitVec) -> bool {
+        mlam_boolean::to_bool(self.margin(x))
+    }
+}
+
+/// Outcome of an AdaBoost run.
+#[derive(Clone, Debug)]
+pub struct BoostOutcome {
+    /// The ensemble hypothesis.
+    pub hypothesis: BoostedStumps,
+    /// Weighted training error of each round's weak hypothesis.
+    pub round_errors: Vec<f64>,
+    /// Final training accuracy of the ensemble.
+    pub training_accuracy: f64,
+}
+
+/// AdaBoost over parity stumps.
+///
+/// # Example
+///
+/// ```
+/// use mlam_boolean::{BitVec, FnFunction};
+/// use mlam_learn::boosting::AdaBoost;
+/// use mlam_learn::dataset::LabeledSet;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let target = FnFunction::new(10, |x: &BitVec| x.count_ones() >= 5);
+/// let train = LabeledSet::sample(&target, 1500, &mut rng);
+/// let out = AdaBoost::new(40).train(&train);
+/// assert!(out.training_accuracy > 0.9);
+/// ```
+#[derive(Clone, Debug)]
+pub struct AdaBoost {
+    rounds: usize,
+    /// Candidate stump masks; default = all single-bit parities plus
+    /// the constant.
+    masks: Option<Vec<u64>>,
+}
+
+impl AdaBoost {
+    /// Creates a booster running `rounds` rounds over single-bit
+    /// stumps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0`.
+    pub fn new(rounds: usize) -> Self {
+        assert!(rounds > 0, "need at least one round");
+        AdaBoost {
+            rounds,
+            masks: None,
+        }
+    }
+
+    /// Overrides the candidate feature masks (e.g. all degree-≤2
+    /// parities to boost through quadratic structure).
+    pub fn with_masks(mut self, masks: Vec<u64>) -> Self {
+        self.masks = Some(masks);
+        self
+    }
+
+    /// Runs AdaBoost on a labeled sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or `n > 63`.
+    pub fn train(&self, data: &LabeledSet) -> BoostOutcome {
+        assert!(!data.is_empty(), "cannot boost on an empty set");
+        let n = data.num_inputs();
+        assert!(n <= 63);
+        let default_masks: Vec<u64> = std::iter::once(0u64)
+            .chain((0..n).map(|i| 1u64 << i))
+            .collect();
+        let masks = self.masks.as_deref().unwrap_or(&default_masks);
+
+        // Precompute stump predictions per example.
+        let m = data.len();
+        let labels: Vec<f64> = data.pairs().iter().map(|(_, y)| to_pm(*y)).collect();
+        let preds: Vec<Vec<f64>> = masks
+            .iter()
+            .map(|&mask| {
+                data.pairs()
+                    .iter()
+                    .map(|(x, _)| if x.parity_masked(mask) { -1.0 } else { 1.0 })
+                    .collect()
+            })
+            .collect();
+
+        let mut weights = vec![1.0 / m as f64; m];
+        let mut members = Vec::new();
+        let mut round_errors = Vec::new();
+
+        for _ in 0..self.rounds {
+            // Best stump under current weights.
+            let mut best: Option<(usize, f64, f64)> = None; // (mask idx, polarity, err)
+            for (mi, pred) in preds.iter().enumerate() {
+                let weighted_err_pos: f64 = pred
+                    .iter()
+                    .zip(&labels)
+                    .zip(&weights)
+                    .filter(|((p, t), _)| **p != **t)
+                    .map(|(_, w)| *w)
+                    .sum();
+                for (polarity, err) in
+                    [(1.0, weighted_err_pos), (-1.0, 1.0 - weighted_err_pos)]
+                {
+                    if best.map(|(_, _, be)| err < be).unwrap_or(true) {
+                        best = Some((mi, polarity, err));
+                    }
+                }
+            }
+            let (mi, polarity, err) = best.expect("non-empty masks");
+            round_errors.push(err);
+            let err = err.clamp(1e-10, 1.0 - 1e-10);
+            if err >= 0.5 {
+                break; // no weak learner left
+            }
+            let alpha = 0.5 * ((1.0 - err) / err).ln();
+            members.push((
+                alpha,
+                ParityStump {
+                    mask: masks[mi],
+                    polarity,
+                },
+            ));
+            // Reweight.
+            let mut total = 0.0;
+            for ((w, pred), t) in weights.iter_mut().zip(&preds[mi]).zip(&labels) {
+                let h = polarity * pred;
+                *w *= (-alpha * h * t).exp();
+                total += *w;
+            }
+            for w in &mut weights {
+                *w /= total;
+            }
+        }
+
+        let hypothesis = BoostedStumps { n, members };
+        let training_accuracy = data.accuracy_of(&hypothesis);
+        BoostOutcome {
+            hypothesis,
+            round_errors,
+            training_accuracy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlam_boolean::{FnFunction, LinearThreshold};
+    use mlam_learn_test_rng::*;
+
+    mod mlam_learn_test_rng {
+        pub use rand::rngs::StdRng;
+        pub use rand::SeedableRng;
+    }
+
+    #[test]
+    fn boosts_majority_to_high_accuracy() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let target = FnFunction::new(11, |x: &BitVec| x.count_ones() >= 6);
+        let train = LabeledSet::sample(&target, 3000, &mut rng);
+        let test = LabeledSet::sample(&target, 2000, &mut rng);
+        let out = AdaBoost::new(60).train(&train);
+        assert!(out.training_accuracy > 0.92, "{}", out.training_accuracy);
+        assert!(test.accuracy_of(&out.hypothesis) > 0.9);
+    }
+
+    #[test]
+    fn boosts_weighted_ltf() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let target = LinearThreshold::new(vec![3.0, 2.0, 1.5, 1.0, 0.5, 0.25], 0.0);
+        let train = LabeledSet::sample(&target, 3000, &mut rng);
+        let test = LabeledSet::sample(&target, 1500, &mut rng);
+        let out = AdaBoost::new(80).train(&train);
+        assert!(test.accuracy_of(&out.hypothesis) > 0.85);
+    }
+
+    #[test]
+    fn round_errors_start_below_half_and_alpha_positive() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let target = FnFunction::new(8, |x: &BitVec| x.get(0));
+        let train = LabeledSet::sample(&target, 500, &mut rng);
+        let out = AdaBoost::new(10).train(&train);
+        assert!(out.round_errors[0] < 0.5);
+        assert!(out.hypothesis.members()[0].0 > 0.0);
+        // A dictator is one stump: training accuracy hits 1 immediately.
+        assert_eq!(out.training_accuracy, 1.0);
+    }
+
+    #[test]
+    fn single_bit_stumps_cannot_boost_parity_but_parity_masks_can() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let target = FnFunction::new(8, |x: &BitVec| x.get(1) ^ x.get(5));
+        let train = LabeledSet::sample(&target, 2000, &mut rng);
+        let test = LabeledSet::sample(&target, 1000, &mut rng);
+        // Single-bit stumps: every stump is uncorrelated -> stuck at chance.
+        let weak = AdaBoost::new(40).train(&train);
+        assert!(test.accuracy_of(&weak.hypothesis) < 0.6);
+        // Degree-<=2 parity stumps contain the target itself.
+        let masks: Vec<u64> = mlam_boolean::SubsetsUpTo::new(8, 2).collect();
+        let strong = AdaBoost::new(40).with_masks(masks).train(&train);
+        assert_eq!(test.accuracy_of(&strong.hypothesis), 1.0);
+    }
+
+    #[test]
+    fn ensemble_is_improper_for_the_stump_class() {
+        // The ensemble of >= 3 distinct stumps (majority of dictators)
+        // is itself not a stump — the improper-learning point.
+        let mut rng = StdRng::seed_from_u64(5);
+        let target = FnFunction::new(5, |x: &BitVec| {
+            (x.get(0) as u8 + x.get(1) as u8 + x.get(2) as u8) >= 2
+        });
+        let train = LabeledSet::sample(&target, 2000, &mut rng);
+        let out = AdaBoost::new(30).train(&train);
+        let distinct: std::collections::HashSet<u64> = out
+            .hypothesis
+            .members()
+            .iter()
+            .map(|(_, s)| s.mask)
+            .collect();
+        assert!(distinct.len() >= 3, "{distinct:?}");
+        assert!(out.training_accuracy > 0.9);
+    }
+}

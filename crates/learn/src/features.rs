@@ -1,0 +1,212 @@
+//! Feature maps: how a challenge becomes a real vector for the linear
+//! learners.
+//!
+//! The *representation* axis of the adversary model (paper, Section V)
+//! often enters an attack exactly here: a Perceptron over the raw ±1
+//! bits represents LTFs over the challenge; the same Perceptron over the
+//! arbiter Φ-transform represents Arbiter PUF delay models; over
+//! low-degree parity features it represents polynomial threshold
+//! functions — strictly more expressive, i.e. closer to improper
+//! learning.
+
+use mlam_boolean::{BitVec, SubsetsUpTo};
+
+/// Maps a Boolean input to a real feature vector.
+pub trait FeatureMap {
+    /// Input length the map accepts.
+    fn num_inputs(&self) -> usize;
+
+    /// Dimension of the output feature vector (including any constant
+    /// feature).
+    fn dimension(&self) -> usize;
+
+    /// Computes the features of `x`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `x.len() != self.num_inputs()`.
+    fn features(&self, x: &BitVec) -> Vec<f64>;
+}
+
+/// The ±1 encoding with a constant feature: `[x_0, …, x_{n−1}, 1]`
+/// where `x_i = ±1`. A linear learner over these features is exactly an
+/// LTF over the challenge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlusMinusFeatures {
+    n: usize,
+}
+
+impl PlusMinusFeatures {
+    /// Creates the map for `n`-bit inputs.
+    pub fn new(n: usize) -> Self {
+        PlusMinusFeatures { n }
+    }
+}
+
+impl FeatureMap for PlusMinusFeatures {
+    fn num_inputs(&self) -> usize {
+        self.n
+    }
+
+    fn dimension(&self) -> usize {
+        self.n + 1
+    }
+
+    fn features(&self, x: &BitVec) -> Vec<f64> {
+        assert_eq!(x.len(), self.n, "input length mismatch");
+        let mut v = Vec::with_capacity(self.n + 1);
+        for i in 0..self.n {
+            v.push(x.pm(i));
+        }
+        v.push(1.0);
+        v
+    }
+}
+
+/// The arbiter parity-feature transform Φ (plus its built-in constant
+/// feature). A linear learner over these features represents exactly
+/// the additive delay model of an Arbiter PUF.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArbiterPhiFeatures {
+    n: usize,
+}
+
+impl ArbiterPhiFeatures {
+    /// Creates the map for `n`-stage arbiter challenges.
+    pub fn new(n: usize) -> Self {
+        ArbiterPhiFeatures { n }
+    }
+}
+
+impl FeatureMap for ArbiterPhiFeatures {
+    fn num_inputs(&self) -> usize {
+        self.n
+    }
+
+    fn dimension(&self) -> usize {
+        self.n + 1
+    }
+
+    fn features(&self, x: &BitVec) -> Vec<f64> {
+        assert_eq!(x.len(), self.n, "input length mismatch");
+        // Suffix parity products, identical to mlam_puf::phi_transform
+        // (duplicated here to keep the learn crate independent of the
+        // puf crate).
+        let mut phi = vec![1.0; self.n + 1];
+        let mut acc = 1.0;
+        for i in (0..self.n).rev() {
+            acc *= if x.get(i) { -1.0 } else { 1.0 };
+            phi[i] = acc;
+        }
+        phi
+    }
+}
+
+/// All parity features `χ_S(x)` for `|S| ≤ d` — the monomial basis of
+/// degree-`d` polynomial threshold functions. Dimension
+/// `Σ_{k≤d} C(n,k)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LowDegreeFeatures {
+    n: usize,
+    masks: Vec<u64>,
+}
+
+impl LowDegreeFeatures {
+    /// Creates the map with all parities of degree ≤ `degree`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 63` or the feature count would exceed `10^7`.
+    pub fn new(n: usize, degree: usize) -> Self {
+        let count = SubsetsUpTo::count_total(n, degree);
+        assert!(
+            count <= 10_000_000,
+            "low-degree feature space too large: {count}"
+        );
+        LowDegreeFeatures {
+            n,
+            masks: SubsetsUpTo::new(n, degree).collect(),
+        }
+    }
+
+    /// The parity masks, in degree order.
+    pub fn masks(&self) -> &[u64] {
+        &self.masks
+    }
+}
+
+impl FeatureMap for LowDegreeFeatures {
+    fn num_inputs(&self) -> usize {
+        self.n
+    }
+
+    fn dimension(&self) -> usize {
+        self.masks.len()
+    }
+
+    fn features(&self, x: &BitVec) -> Vec<f64> {
+        assert_eq!(x.len(), self.n, "input length mismatch");
+        let xm = x.to_u64();
+        self.masks
+            .iter()
+            .map(|&m| {
+                if (xm & m).count_ones() % 2 == 1 {
+                    -1.0
+                } else {
+                    1.0
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plus_minus_features() {
+        let map = PlusMinusFeatures::new(3);
+        let f = map.features(&BitVec::from_bools(&[true, false, true]));
+        assert_eq!(f, vec![-1.0, 1.0, -1.0, 1.0]);
+        assert_eq!(map.dimension(), 4);
+    }
+
+    #[test]
+    fn phi_features_match_puf_transform() {
+        let map = ArbiterPhiFeatures::new(4);
+        let c = BitVec::from_bools(&[true, true, false, true]);
+        let f = map.features(&c);
+        assert_eq!(f, vec![-1.0, 1.0, -1.0, -1.0, 1.0]);
+    }
+
+    #[test]
+    fn low_degree_dimension() {
+        let map = LowDegreeFeatures::new(5, 2);
+        assert_eq!(map.dimension(), 1 + 5 + 10);
+        let f = map.features(&BitVec::zeros(5));
+        assert!(f.iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn low_degree_features_are_parities() {
+        let map = LowDegreeFeatures::new(4, 2);
+        let x = BitVec::from_u64(0b0110, 4);
+        let f = map.features(&x);
+        for (mask, v) in map.masks().iter().zip(&f) {
+            let expected = if (0b0110u64 & mask).count_ones() % 2 == 1 {
+                -1.0
+            } else {
+                1.0
+            };
+            assert_eq!(*v, expected, "mask {mask:b}");
+        }
+    }
+
+    #[test]
+    fn degree_zero_is_constant_only() {
+        let map = LowDegreeFeatures::new(10, 0);
+        assert_eq!(map.dimension(), 1);
+        assert_eq!(map.features(&BitVec::ones(10)), vec![1.0]);
+    }
+}

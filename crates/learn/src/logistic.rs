@@ -1,0 +1,257 @@
+//! Logistic regression with Adam — the workhorse of empirical PUF
+//! modeling attacks (Rührmair et al. \[8\] attacked Arbiter and XOR
+//! Arbiter PUFs with exactly this model class over Φ features).
+
+use crate::dataset::LabeledSet;
+use crate::features::{ArbiterPhiFeatures, FeatureMap};
+use crate::perceptron::LinearModel;
+use mlam_boolean::to_pm;
+use rand::Rng;
+
+/// Hyperparameters for the logistic-regression trainer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LogisticConfig {
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// Adam step size.
+    pub learning_rate: f64,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// L2 regularization strength.
+    pub l2: f64,
+}
+
+impl Default for LogisticConfig {
+    fn default() -> Self {
+        LogisticConfig {
+            epochs: 60,
+            learning_rate: 0.05,
+            batch_size: 32,
+            l2: 1e-5,
+        }
+    }
+}
+
+/// Outcome of a logistic-regression run.
+#[derive(Clone, Debug)]
+pub struct LogisticOutcome<M> {
+    /// The trained model (sign of the logit).
+    pub model: LinearModel<M>,
+    /// Final mean training loss.
+    pub final_loss: f64,
+    /// Training accuracy of the final model.
+    pub training_accuracy: f64,
+}
+
+/// Logistic-regression trainer.
+///
+/// # Example
+///
+/// ```
+/// use mlam_learn::dataset::LabeledSet;
+/// use mlam_learn::logistic::{LogisticConfig, LogisticRegression};
+/// use mlam_boolean::LinearThreshold;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let target = LinearThreshold::random(16, &mut rng);
+/// let train = LabeledSet::sample(&target, 800, &mut rng);
+/// let out = LogisticRegression::new(LogisticConfig::default())
+///     .train(&train, &mut rng);
+/// assert!(out.training_accuracy > 0.95);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct LogisticRegression {
+    config: LogisticConfig,
+}
+
+impl LogisticRegression {
+    /// Creates a trainer with the given hyperparameters.
+    pub fn new(config: LogisticConfig) -> Self {
+        assert!(config.epochs > 0 && config.batch_size > 0);
+        assert!(config.learning_rate > 0.0 && config.l2 >= 0.0);
+        LogisticRegression { config }
+    }
+
+    /// Trains over the ±1 bit features.
+    pub fn train<R: Rng + ?Sized>(
+        &self,
+        data: &LabeledSet,
+        rng: &mut R,
+    ) -> LogisticOutcome<crate::features::PlusMinusFeatures> {
+        self.train_with(
+            crate::features::PlusMinusFeatures::new(data.num_inputs()),
+            data,
+            rng,
+        )
+    }
+
+    /// Trains over the arbiter Φ features — the standard modeling attack
+    /// on (XOR) Arbiter PUFs.
+    pub fn train_phi<R: Rng + ?Sized>(
+        &self,
+        data: &LabeledSet,
+        rng: &mut R,
+    ) -> LogisticOutcome<ArbiterPhiFeatures> {
+        self.train_with(ArbiterPhiFeatures::new(data.num_inputs()), data, rng)
+    }
+
+    /// Trains over an arbitrary feature map with Adam on the logistic
+    /// loss `ln(1 + e^{−t·w·φ(x)})` (`t = ±1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or arities mismatch.
+    pub fn train_with<M: FeatureMap + Clone, R: Rng + ?Sized>(
+        &self,
+        map: M,
+        data: &LabeledSet,
+        rng: &mut R,
+    ) -> LogisticOutcome<M> {
+        assert!(!data.is_empty(), "cannot train on an empty set");
+        assert_eq!(map.num_inputs(), data.num_inputs(), "feature map arity");
+        let d = map.dimension();
+        let feats: Vec<(Vec<f64>, f64)> = data
+            .pairs()
+            .iter()
+            .map(|(x, y)| (map.features(x), to_pm(*y)))
+            .collect();
+
+        let mut w = vec![0.0f64; d];
+        let mut m1 = vec![0.0f64; d];
+        let mut m2 = vec![0.0f64; d];
+        let (b1, b2, eps) = (0.9, 0.999, 1e-8);
+        let mut step = 0usize;
+
+        let mut order: Vec<usize> = (0..feats.len()).collect();
+        for _ in 0..self.config.epochs {
+            // Shuffle the visit order each epoch.
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            for batch in order.chunks(self.config.batch_size) {
+                step += 1;
+                let mut grad = vec![0.0f64; d];
+                for &idx in batch {
+                    let (f, t) = &feats[idx];
+                    let s: f64 = f.iter().zip(&w).map(|(a, b)| a * b).sum();
+                    // d/dw ln(1+e^{-t s}) = -t f σ(-t s)
+                    let sigma = 1.0 / (1.0 + (t * s).exp());
+                    for (g, fi) in grad.iter_mut().zip(f) {
+                        *g -= t * fi * sigma;
+                    }
+                }
+                let scale = 1.0 / batch.len() as f64;
+                for ((wi, g), (mi, vi)) in w
+                    .iter_mut()
+                    .zip(&grad)
+                    .zip(m1.iter_mut().zip(m2.iter_mut()))
+                {
+                    let g = g * scale + self.config.l2 * *wi;
+                    *mi = b1 * *mi + (1.0 - b1) * g;
+                    *vi = b2 * *vi + (1.0 - b2) * g * g;
+                    let mhat = *mi / (1.0 - b1.powi(step as i32));
+                    let vhat = *vi / (1.0 - b2.powi(step as i32));
+                    *wi -= self.config.learning_rate * mhat / (vhat.sqrt() + eps);
+                }
+            }
+        }
+
+        let mut loss = 0.0;
+        let mut correct = 0usize;
+        for (f, t) in &feats {
+            let s: f64 = f.iter().zip(&w).map(|(a, b)| a * b).sum();
+            loss += ln_1p_exp(-t * s);
+            if s * t > 0.0 {
+                correct += 1;
+            }
+        }
+        let model = LinearModel::new(map, w);
+        LogisticOutcome {
+            model,
+            final_loss: loss / feats.len() as f64,
+            training_accuracy: correct as f64 / feats.len() as f64,
+        }
+    }
+}
+
+/// Numerically stable `ln(1 + e^z)`.
+fn ln_1p_exp(z: f64) -> f64 {
+    if z > 30.0 {
+        z
+    } else if z < -30.0 {
+        0.0
+    } else {
+        (1.0 + z.exp()).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlam_boolean::{BitVec, FnFunction, LinearThreshold};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fits_random_ltf() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let target = LinearThreshold::random(20, &mut rng);
+        let train = LabeledSet::sample(&target, 2000, &mut rng);
+        let test = LabeledSet::sample(&target, 1000, &mut rng);
+        let out = LogisticRegression::new(LogisticConfig::default()).train(&train, &mut rng);
+        assert!(out.training_accuracy > 0.97, "{}", out.training_accuracy);
+        assert!(test.accuracy_of(&out.model) > 0.93);
+        assert!(out.final_loss < 0.3);
+    }
+
+    #[test]
+    fn phi_training_beats_raw_on_arbiter_targets() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 24;
+        let weights: Vec<f64> = (0..=n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let w = weights.clone();
+        let target = FnFunction::new(n, move |x: &BitVec| {
+            let phi = ArbiterPhiFeatures::new(n).features(x);
+            phi.iter().zip(&w).map(|(a, b)| a * b).sum::<f64>() <= 0.0
+        });
+        let train = LabeledSet::sample(&target, 3000, &mut rng);
+        let test = LabeledSet::sample(&target, 1500, &mut rng);
+        let cfg = LogisticConfig::default();
+        let phi = LogisticRegression::new(cfg).train_phi(&train, &mut rng);
+        let raw = LogisticRegression::new(cfg).train(&train, &mut rng);
+        let phi_acc = test.accuracy_of(&phi.model);
+        let raw_acc = test.accuracy_of(&raw.model);
+        assert!(phi_acc > 0.95, "phi accuracy {phi_acc}");
+        assert!(phi_acc > raw_acc, "phi {phi_acc} vs raw {raw_acc}");
+    }
+
+    #[test]
+    fn tolerates_label_noise() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let target = LinearThreshold::random(16, &mut rng);
+        let clean = LabeledSet::sample(&target, 3000, &mut rng);
+        // Flip 10 % of labels.
+        let noisy_pairs: Vec<(BitVec, bool)> = clean
+            .pairs()
+            .iter()
+            .map(|(x, y)| {
+                let flip = rng.gen_bool(0.1);
+                (x.clone(), *y != flip)
+            })
+            .collect();
+        let noisy = LabeledSet::from_pairs(16, noisy_pairs);
+        let test = LabeledSet::sample(&target, 1500, &mut rng);
+        let out = LogisticRegression::new(LogisticConfig::default()).train(&noisy, &mut rng);
+        // Unlike the vanilla perceptron, LR still recovers the concept.
+        assert!(test.accuracy_of(&out.model) > 0.9);
+    }
+
+    #[test]
+    fn stable_log1pexp() {
+        assert_eq!(ln_1p_exp(100.0), 100.0);
+        assert_eq!(ln_1p_exp(-100.0), 0.0);
+        assert!((ln_1p_exp(0.0) - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+}

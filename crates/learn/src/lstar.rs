@@ -1,0 +1,358 @@
+//! Angluin's L* algorithm for learning DFAs from membership and
+//! equivalence queries (Angluin \[22\]; paper, Sections IV and V-B).
+//!
+//! The learner maintains an observation table over access strings `S`
+//! and experiments `E`, closes and... consistency-checks it, conjectures
+//! a DFA, and refines on counterexamples. Against a sequential locking
+//! scheme, the "teacher" is the locked FSM itself: membership = run the
+//! device on an input word and observe the output, equivalence =
+//! Angluin's random-sampling simulation.
+
+use crate::automata::Dfa;
+use std::collections::HashMap;
+
+/// The teacher interface for L*: answers word-membership and
+/// equivalence queries.
+pub trait DfaTeacher {
+    /// Alphabet size.
+    fn alphabet_size(&self) -> usize;
+
+    /// Whether the target accepts `word`.
+    fn member(&mut self, word: &[usize]) -> bool;
+
+    /// Either accepts the hypothesis or returns a counterexample word.
+    fn equivalent(&mut self, hypothesis: &Dfa) -> Option<Vec<usize>>;
+}
+
+/// A teacher wrapping a known [`Dfa`] (useful for tests and for the
+/// locking attacks, where the device FSM is available as a simulator
+/// but treated as a black box). Equivalence is answered *exactly* via
+/// the product construction, and queries are counted.
+#[derive(Clone, Debug)]
+pub struct ExactDfaTeacher {
+    target: Dfa,
+    /// Membership queries answered.
+    pub membership_queries: usize,
+    /// Equivalence queries answered.
+    pub equivalence_queries: usize,
+}
+
+impl ExactDfaTeacher {
+    /// Wraps a target DFA.
+    pub fn new(target: Dfa) -> Self {
+        ExactDfaTeacher {
+            target,
+            membership_queries: 0,
+            equivalence_queries: 0,
+        }
+    }
+
+    /// The wrapped target.
+    pub fn target(&self) -> &Dfa {
+        &self.target
+    }
+}
+
+impl DfaTeacher for ExactDfaTeacher {
+    fn alphabet_size(&self) -> usize {
+        self.target.alphabet_size()
+    }
+
+    fn member(&mut self, word: &[usize]) -> bool {
+        self.membership_queries += 1;
+        self.target.accepts(word)
+    }
+
+    fn equivalent(&mut self, hypothesis: &Dfa) -> Option<Vec<usize>> {
+        self.equivalence_queries += 1;
+        self.target.shortest_disagreement(hypothesis)
+    }
+}
+
+/// Outcome of an L* run.
+#[derive(Clone, Debug)]
+pub struct LstarOutcome {
+    /// The learned DFA (minimal for the target language).
+    pub dfa: Dfa,
+    /// Equivalence queries used.
+    pub equivalence_queries: usize,
+    /// Counterexamples processed.
+    pub counterexamples: usize,
+}
+
+/// Runs Angluin's L* against a teacher.
+///
+/// # Panics
+///
+/// Panics if the teacher's alphabet is empty or `max_rounds` is
+/// exhausted before convergence (indicating a buggy/inconsistent
+/// teacher).
+///
+/// # Example
+///
+/// ```
+/// use mlam_learn::automata::Dfa;
+/// use mlam_learn::lstar::{lstar_learn, ExactDfaTeacher};
+///
+/// // Target: odd number of 1s.
+/// let target = Dfa::new(2, vec![vec![0, 1], vec![1, 0]], vec![false, true]);
+/// let mut teacher = ExactDfaTeacher::new(target.clone());
+/// let outcome = lstar_learn(&mut teacher, 100);
+/// assert_eq!(outcome.dfa.shortest_disagreement(&target), None);
+/// assert_eq!(outcome.dfa.num_states(), 2);
+/// ```
+pub fn lstar_learn<T: DfaTeacher>(teacher: &mut T, max_rounds: usize) -> LstarOutcome {
+    let k = teacher.alphabet_size();
+    assert!(k > 0, "alphabet must be non-empty");
+
+    // Observation table: rows = access strings (S and S·Σ),
+    // columns = experiments E; entry = membership of row·col.
+    let mut s: Vec<Vec<usize>> = vec![Vec::new()];
+    let mut e: Vec<Vec<usize>> = vec![Vec::new()];
+    let mut table: HashMap<Vec<usize>, Vec<bool>> = HashMap::new();
+
+    let mut equivalence_queries = 0usize;
+    let mut counterexamples = 0usize;
+
+    fn fill_row<T: DfaTeacher>(
+        teacher: &mut T,
+        table: &mut HashMap<Vec<usize>, Vec<bool>>,
+        row: &[usize],
+        e: &[Vec<usize>],
+    ) {
+        let entry = table.entry(row.to_vec()).or_default();
+        while entry.len() < e.len() {
+            let col = &e[entry.len()];
+            let mut w = row.to_vec();
+            w.extend_from_slice(col);
+            let v = teacher.member(&w);
+            entry.push(v);
+        }
+    }
+
+    for _round in 0..max_rounds {
+        // Fill all rows for S and S·Σ.
+        let mut all_rows: Vec<Vec<usize>> = Vec::new();
+        for base in &s {
+            all_rows.push(base.clone());
+            for sym in 0..k {
+                let mut w = base.clone();
+                w.push(sym);
+                all_rows.push(w);
+            }
+        }
+        for row in &all_rows {
+            fill_row(teacher, &mut table, row, &e);
+        }
+
+        // Closedness: every S·Σ row signature must appear among S rows.
+        let s_sigs: Vec<Vec<bool>> = s.iter().map(|r| table[r].clone()).collect();
+        let mut closed = true;
+        'close: for base in &s.clone() {
+            for sym in 0..k {
+                let mut w = base.clone();
+                w.push(sym);
+                let sig = &table[&w];
+                if !s_sigs.contains(sig) {
+                    s.push(w);
+                    closed = false;
+                    break 'close;
+                }
+            }
+        }
+        if !closed {
+            continue;
+        }
+
+        // Consistency: equal S-row signatures must stay equal after any
+        // symbol; otherwise extend E with the separating experiment.
+        let mut consistent = true;
+        'cons: for i in 0..s.len() {
+            for j in (i + 1)..s.len() {
+                if table[&s[i]] != table[&s[j]] {
+                    continue;
+                }
+                for sym in 0..k {
+                    let mut wi = s[i].clone();
+                    wi.push(sym);
+                    let mut wj = s[j].clone();
+                    wj.push(sym);
+                    fill_row(teacher, &mut table, &wi, &e);
+                    fill_row(teacher, &mut table, &wj, &e);
+                    if table[&wi] != table[&wj] {
+                        // Find the separating column.
+                        let col_idx = table[&wi]
+                            .iter()
+                            .zip(&table[&wj])
+                            .position(|(a, b)| a != b)
+                            .expect("signatures differ");
+                        let mut new_exp = vec![sym];
+                        new_exp.extend_from_slice(&e[col_idx]);
+                        e.push(new_exp);
+                        consistent = false;
+                        break 'cons;
+                    }
+                }
+            }
+        }
+        if !consistent {
+            continue;
+        }
+
+        // Conjecture a DFA: states = distinct S-row signatures.
+        let mut sig_to_state: HashMap<Vec<bool>, usize> = HashMap::new();
+        let mut reps: Vec<Vec<usize>> = Vec::new();
+        // Ensure the empty string's signature gets state 0.
+        let empty_sig = table[&Vec::new()].clone();
+        sig_to_state.insert(empty_sig, 0);
+        reps.push(Vec::new());
+        for base in &s {
+            let sig = table[base].clone();
+            if let std::collections::hash_map::Entry::Vacant(e) = sig_to_state.entry(sig) {
+                e.insert(reps.len());
+                reps.push(base.clone());
+            }
+        }
+        let mut transitions = vec![vec![0usize; k]; reps.len()];
+        let mut accepting = vec![false; reps.len()];
+        for (state, rep) in reps.iter().enumerate() {
+            accepting[state] = table[rep][0]; // E[0] is the empty experiment
+            #[allow(clippy::needless_range_loop)]
+            for sym in 0..k {
+                let mut w = rep.clone();
+                w.push(sym);
+                fill_row(teacher, &mut table, &w, &e);
+                let sig = &table[&w];
+                let target = *sig_to_state
+                    .get(sig)
+                    .expect("closed table: successor signature present");
+                transitions[state][sym] = target;
+            }
+        }
+        let hypothesis = Dfa::new(k, transitions, accepting);
+
+        equivalence_queries += 1;
+        match teacher.equivalent(&hypothesis) {
+            None => {
+                return LstarOutcome {
+                    dfa: hypothesis,
+                    equivalence_queries,
+                    counterexamples,
+                };
+            }
+            Some(cex) => {
+                counterexamples += 1;
+                // Angluin: add all prefixes of the counterexample to S.
+                for len in 1..=cex.len() {
+                    let prefix = cex[..len].to_vec();
+                    if !s.contains(&prefix) {
+                        s.push(prefix);
+                    }
+                }
+            }
+        }
+    }
+    panic!("L* did not converge within {max_rounds} rounds");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn learn(target: Dfa) -> (LstarOutcome, ExactDfaTeacher) {
+        let mut teacher = ExactDfaTeacher::new(target);
+        let out = lstar_learn(&mut teacher, 200);
+        (out, teacher)
+    }
+
+    #[test]
+    fn learns_parity() {
+        let target = Dfa::new(2, vec![vec![0, 1], vec![1, 0]], vec![false, true]);
+        let (out, _) = learn(target.clone());
+        assert_eq!(out.dfa.shortest_disagreement(&target), None);
+        assert_eq!(out.dfa.num_states(), 2);
+    }
+
+    #[test]
+    fn learns_mod3_counter() {
+        // Accept words whose number of 1s is divisible by 3.
+        let target = Dfa::new(
+            2,
+            vec![vec![0, 1], vec![1, 2], vec![2, 0]],
+            vec![true, false, false],
+        );
+        let (out, teacher) = learn(target.clone());
+        assert_eq!(out.dfa.shortest_disagreement(&target), None);
+        assert_eq!(out.dfa.num_states(), 3);
+        assert!(teacher.membership_queries > 0);
+    }
+
+    #[test]
+    fn learns_pattern_matcher() {
+        // Accept words containing the substring "101" (alphabet {0,1}).
+        // States track the longest matched prefix: 0, "1", "10", done.
+        let target = Dfa::new(
+            2,
+            vec![
+                vec![0, 1], // saw nothing
+                vec![2, 1], // saw "1"
+                vec![0, 3], // saw "10"
+                vec![3, 3], // matched
+            ],
+            vec![false, false, false, true],
+        );
+        let (out, _) = learn(target.clone());
+        assert_eq!(out.dfa.shortest_disagreement(&target), None);
+        assert_eq!(out.dfa.num_states(), 4);
+    }
+
+    #[test]
+    fn learns_unlock_sequence_machine() {
+        // The HARPOON-style scenario: the machine reaches the accepting
+        // "functional" state only after the exact unlock word 2,0,1 over
+        // a 3-symbol alphabet; any deviation traps it in a reset loop.
+        //
+        // states: 0=start, 1=saw 2, 2=saw 2,0, 3=unlocked(sink).
+        let target = Dfa::new(
+            3,
+            vec![
+                vec![0, 0, 1],
+                vec![2, 0, 1],
+                vec![0, 3, 1],
+                vec![3, 3, 3],
+            ],
+            vec![false, false, false, true],
+        );
+        let (out, teacher) = learn(target.clone());
+        assert_eq!(out.dfa.shortest_disagreement(&target), None);
+        assert!(out.dfa.accepts(&[2, 0, 1]));
+        assert!(!out.dfa.accepts(&[2, 0, 0]));
+        // Query complexity stays modest (polynomial in states).
+        assert!(teacher.membership_queries < 2000);
+    }
+
+    #[test]
+    fn learns_trivial_machines() {
+        let all = Dfa::new(2, vec![vec![0, 0]], vec![true]);
+        let (out, _) = learn(all.clone());
+        assert_eq!(out.dfa.num_states(), 1);
+        assert!(out.dfa.accepts(&[0, 1, 0]));
+
+        let none = Dfa::new(2, vec![vec![0, 0]], vec![false]);
+        let (out, _) = learn(none.clone());
+        assert_eq!(out.dfa.num_states(), 1);
+        assert!(!out.dfa.accepts(&[]));
+    }
+
+    #[test]
+    fn learned_machine_is_minimal() {
+        // Redundant 4-state encoding of parity: L* must output 2 states.
+        let target = Dfa::new(
+            2,
+            vec![vec![2, 1], vec![3, 0], vec![0, 3], vec![1, 2]],
+            vec![false, true, false, true],
+        );
+        let (out, _) = learn(target);
+        assert_eq!(out.dfa.num_states(), 2);
+    }
+}

@@ -1,0 +1,257 @@
+//! Attacker access models as oracle traits (paper, Section IV).
+//!
+//! Cryptography classifies attacker access precisely; learning theory
+//! has the matching notions:
+//!
+//! - **random examples** ([`ExampleOracle`]): labeled pairs drawn from a
+//!   fixed distribution — known-plaintext-style access;
+//! - **membership queries** ([`MembershipOracle`]): the attacker picks
+//!   the input — chosen-plaintext-style access;
+//! - **equivalence queries**: "is my hypothesis right, and if not show
+//!   me a counterexample" — which, by Angluin's observation the paper
+//!   recalls, can be *simulated from random examples*
+//!   ([`simulate_equivalence`]).
+//!
+//! [`FunctionOracle`] adapts any [`BooleanFunction`] (a PUF model, a
+//! locked netlist output, …) into all three, counting queries so attack
+//! reports can state the cost.
+
+use crate::distribution::ChallengeDistribution;
+use mlam_boolean::{BitVec, BooleanFunction};
+use rand::Rng;
+use std::cell::Cell;
+
+/// Source of labeled examples `(x, f(x))` from a fixed distribution.
+pub trait ExampleOracle {
+    /// Number of input bits.
+    fn num_inputs(&self) -> usize;
+
+    /// Draws the next labeled example.
+    fn example<R: Rng + ?Sized>(&self, rng: &mut R) -> (BitVec, bool);
+
+    /// Draws `count` labeled examples.
+    fn examples<R: Rng + ?Sized>(&self, count: usize, rng: &mut R) -> Vec<(BitVec, bool)> {
+        (0..count).map(|_| self.example(rng)).collect()
+    }
+}
+
+/// Membership-query access: the attacker chooses the input.
+pub trait MembershipOracle {
+    /// Number of input bits.
+    fn num_inputs(&self) -> usize;
+
+    /// The value of the unknown function at `x`.
+    fn query(&self, x: &BitVec) -> bool;
+}
+
+/// Result of a (simulated) equivalence query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EquivalenceResult {
+    /// No disagreement found within the sampling budget: the hypothesis
+    /// is accepted as (probably approximately) equivalent.
+    Equivalent,
+    /// A counterexample on which hypothesis and target disagree.
+    Counterexample(BitVec),
+}
+
+/// Adapts a [`BooleanFunction`] into example and membership oracles,
+/// with query counting.
+///
+/// # Example
+///
+/// ```
+/// use mlam_boolean::{BitVec, FnFunction};
+/// use mlam_learn::{ExampleOracle, FunctionOracle, MembershipOracle};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let target = FnFunction::new(8, |x: &BitVec| x.count_ones() >= 4);
+/// let oracle = FunctionOracle::uniform(&target);
+/// let (x, y) = oracle.example(&mut rng);
+/// assert_eq!(oracle.query(&x), y);
+/// assert_eq!(oracle.queries_used(), 2);
+/// ```
+pub struct FunctionOracle<'a, F: ?Sized> {
+    target: &'a F,
+    distribution: ChallengeDistribution,
+    queries: Cell<u64>,
+}
+
+impl<'a, F: BooleanFunction + ?Sized> FunctionOracle<'a, F> {
+    /// Oracle drawing examples from the **uniform** distribution.
+    pub fn uniform(target: &'a F) -> Self {
+        Self::with_distribution(target, ChallengeDistribution::Uniform)
+    }
+
+    /// Oracle drawing examples from an explicit distribution.
+    pub fn with_distribution(target: &'a F, distribution: ChallengeDistribution) -> Self {
+        FunctionOracle {
+            target,
+            distribution,
+            queries: Cell::new(0),
+        }
+    }
+
+    /// The example distribution.
+    pub fn distribution(&self) -> &ChallengeDistribution {
+        &self.distribution
+    }
+
+    /// Total number of oracle invocations so far (examples + membership
+    /// queries + equivalence-simulation samples).
+    pub fn queries_used(&self) -> u64 {
+        self.queries.get()
+    }
+
+    /// Resets the query counter.
+    pub fn reset_queries(&self) {
+        self.queries.set(0);
+    }
+
+    fn count(&self) {
+        self.queries.set(self.queries.get() + 1);
+    }
+}
+
+impl<F: BooleanFunction + ?Sized> ExampleOracle for FunctionOracle<'_, F> {
+    fn num_inputs(&self) -> usize {
+        self.target.num_inputs()
+    }
+
+    fn example<R: Rng + ?Sized>(&self, rng: &mut R) -> (BitVec, bool) {
+        self.count();
+        let x = self.distribution.sample(self.target.num_inputs(), rng);
+        let y = self.target.eval(&x);
+        (x, y)
+    }
+}
+
+impl<F: BooleanFunction + ?Sized> MembershipOracle for FunctionOracle<'_, F> {
+    fn num_inputs(&self) -> usize {
+        self.target.num_inputs()
+    }
+
+    fn query(&self, x: &BitVec) -> bool {
+        self.count();
+        self.target.eval(x)
+    }
+}
+
+/// Simulates an equivalence query from random examples (Angluin \[22\]):
+/// draw `budget` examples; if the hypothesis disagrees with any, return
+/// it as a counterexample, otherwise accept.
+///
+/// Accepting guarantees (by the standard argument) that with probability
+/// `1 − δ` the hypothesis is `ε`-close to the target when
+/// `budget ≥ ln(1/δ)/ε`.
+pub fn simulate_equivalence<O, H, R>(
+    oracle: &O,
+    hypothesis: &H,
+    budget: usize,
+    rng: &mut R,
+) -> EquivalenceResult
+where
+    O: ExampleOracle,
+    H: BooleanFunction + ?Sized,
+    R: Rng + ?Sized,
+{
+    for _ in 0..budget {
+        let (x, y) = oracle.example(rng);
+        if hypothesis.eval(&x) != y {
+            return EquivalenceResult::Counterexample(x);
+        }
+    }
+    EquivalenceResult::Equivalent
+}
+
+/// Sample budget for an `(ε, δ)` equivalence simulation:
+/// `⌈ln(1/δ)/ε⌉`.
+pub fn equivalence_budget(eps: f64, delta: f64) -> usize {
+    assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+    ((1.0 / delta).ln() / eps).ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlam_boolean::FnFunction;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn majority(n: usize) -> FnFunction<impl Fn(&BitVec) -> bool> {
+        FnFunction::new(n, move |x: &BitVec| x.count_ones() as usize * 2 >= n)
+    }
+
+    #[test]
+    fn example_oracle_labels_correctly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let f = majority(9);
+        let oracle = FunctionOracle::uniform(&f);
+        for _ in 0..100 {
+            let (x, y) = oracle.example(&mut rng);
+            assert_eq!(f.eval(&x), y);
+        }
+        assert_eq!(oracle.queries_used(), 100);
+    }
+
+    #[test]
+    fn membership_queries_are_counted() {
+        let f = majority(5);
+        let oracle = FunctionOracle::uniform(&f);
+        assert!(oracle.query(&BitVec::ones(5)));
+        assert!(!oracle.query(&BitVec::zeros(5)));
+        assert_eq!(oracle.queries_used(), 2);
+        oracle.reset_queries();
+        assert_eq!(oracle.queries_used(), 0);
+    }
+
+    #[test]
+    fn equivalence_accepts_correct_hypothesis() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let f = majority(7);
+        let oracle = FunctionOracle::uniform(&f);
+        let h = majority(7);
+        assert_eq!(
+            simulate_equivalence(&oracle, &h, 200, &mut rng),
+            EquivalenceResult::Equivalent
+        );
+    }
+
+    #[test]
+    fn equivalence_finds_counterexample_for_wrong_hypothesis() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let f = majority(7);
+        let oracle = FunctionOracle::uniform(&f);
+        let wrong = FnFunction::new(7, |x: &BitVec| x.count_ones() as usize * 2 < 7);
+        match simulate_equivalence(&oracle, &wrong, 200, &mut rng) {
+            EquivalenceResult::Counterexample(x) => {
+                assert_ne!(wrong.eval(&x), f.eval(&x));
+            }
+            EquivalenceResult::Equivalent => panic!("must find a counterexample"),
+        }
+    }
+
+    #[test]
+    fn equivalence_budget_formula() {
+        // ln(1/0.01)/0.1 = 46.05... -> 47
+        assert_eq!(equivalence_budget(0.1, 0.01), 47);
+        assert!(equivalence_budget(0.01, 0.01) > equivalence_budget(0.1, 0.01));
+    }
+
+    #[test]
+    fn biased_oracle_draws_from_its_distribution() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let f = majority(64);
+        let oracle = FunctionOracle::with_distribution(
+            &f,
+            ChallengeDistribution::ProductBiased(0.9),
+        );
+        let examples = oracle.examples(200, &mut rng);
+        let ones: u32 = examples.iter().map(|(x, _)| x.count_ones()).sum();
+        let density = ones as f64 / (64.0 * 200.0);
+        assert!(density > 0.85, "density {density}");
+        // Under heavy bias the majority function outputs 1 almost always.
+        assert!(examples.iter().filter(|(_, y)| *y).count() > 190);
+    }
+}

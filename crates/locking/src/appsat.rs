@@ -1,0 +1,254 @@
+//! AppSAT: approximate deobfuscation (Shamsi et al. \[5\]).
+//!
+//! AppSAT interleaves the exact DIP loop with batches of *random*
+//! queries and stops as soon as the current key candidate's empirical
+//! error rate stays below a threshold for several consecutive rounds.
+//! The paper's Section V-A observes that this online-ML procedure
+//! converts into a (uniform-distribution) PAC learner: the settlement
+//! test is exactly an Angluin-style simulated equivalence query, and
+//! the returned key is an ε-approximation rather than an exact key —
+//! the distinction between approximate and exact inference that
+//! Section IV-A turns on.
+
+use crate::combinational::LockedNetlist;
+use crate::sat_attack::encode_copy;
+use mlam_boolean::BitVec;
+use mlam_netlist::Netlist;
+use mlam_sat::{Lit, SatResult, Solver, Var};
+use rand::Rng;
+
+/// Configuration of AppSAT.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AppSatConfig {
+    /// DIP iterations between random-query rounds.
+    pub dips_per_round: usize,
+    /// Random queries per settlement round.
+    pub queries_per_round: usize,
+    /// Error threshold below which a round counts as "settled".
+    pub error_threshold: f64,
+    /// Consecutive settled rounds required to stop.
+    pub settlement_rounds: usize,
+    /// Hard cap on total rounds.
+    pub max_rounds: usize,
+}
+
+impl Default for AppSatConfig {
+    fn default() -> Self {
+        AppSatConfig {
+            dips_per_round: 4,
+            queries_per_round: 32,
+            error_threshold: 0.02,
+            settlement_rounds: 3,
+            max_rounds: 200,
+        }
+    }
+}
+
+/// Result of an AppSAT run.
+#[derive(Clone, Debug)]
+pub struct AppSatResult {
+    /// The (approximate) key returned.
+    pub key: BitVec,
+    /// Total DIP iterations.
+    pub dip_iterations: usize,
+    /// Total random queries.
+    pub random_queries: usize,
+    /// Whether the run settled (vs. the miter going UNSAT, which means
+    /// the key is exact).
+    pub settled_early: bool,
+    /// Empirical accuracy of the returned key on fresh random inputs.
+    pub estimated_accuracy: f64,
+}
+
+/// Runs AppSAT against `locked` with `oracle` as the activated chip.
+///
+/// # Panics
+///
+/// Panics on shape mismatches or when `max_rounds` is exhausted without
+/// settlement (raise the budget for pathological instances).
+pub fn appsat<R: Rng + ?Sized>(
+    locked: &LockedNetlist,
+    oracle: &Netlist,
+    config: AppSatConfig,
+    rng: &mut R,
+) -> AppSatResult {
+    assert_eq!(oracle.num_inputs(), locked.num_primary_inputs());
+    assert_eq!(oracle.num_outputs(), locked.netlist().num_outputs());
+
+    let mut miter = Solver::new();
+    let (in1, key1, out1) = encode_copy(locked, &mut miter);
+    let (in2, key2, out2) = encode_copy(locked, &mut miter);
+    for (a, b) in in1.iter().zip(&in2) {
+        miter.add_clause(&[Lit::pos(*a), Lit::neg(*b)]);
+        miter.add_clause(&[Lit::neg(*a), Lit::pos(*b)]);
+    }
+    let mut diff = Vec::new();
+    for (a, b) in out1.iter().zip(&out2) {
+        let d = miter.new_var();
+        miter.add_clause(&[Lit::neg(d), Lit::pos(*a), Lit::pos(*b)]);
+        miter.add_clause(&[Lit::neg(d), Lit::neg(*a), Lit::neg(*b)]);
+        miter.add_clause(&[Lit::pos(d), Lit::neg(*a), Lit::pos(*b)]);
+        miter.add_clause(&[Lit::pos(d), Lit::pos(*a), Lit::neg(*b)]);
+        diff.push(Lit::pos(d));
+    }
+    miter.add_clause(&diff);
+
+    let mut keysolver = Solver::new();
+    let (_ki, keyvars, _ko) = encode_copy(locked, &mut keysolver);
+
+    let mut dip_iterations = 0usize;
+    let mut random_queries = 0usize;
+    let mut consecutive_settled = 0usize;
+    let mut exact = false;
+
+    'outer: for _round in 0..config.max_rounds {
+        // Phase 1: a few exact DIPs.
+        for _ in 0..config.dips_per_round {
+            match miter.solve() {
+                SatResult::Sat(model) => {
+                    dip_iterations += 1;
+                    let dip: Vec<bool> = in1.iter().map(|v| model.value(*v)).collect();
+                    let response = oracle.simulate(&dip);
+                    crate::sat_attack::add_io_constraint(
+                        locked, &mut miter, &key1, &dip, &response,
+                    );
+                    crate::sat_attack::add_io_constraint(
+                        locked, &mut miter, &key2, &dip, &response,
+                    );
+                    crate::sat_attack::add_io_constraint(
+                        locked, &mut keysolver, &keyvars, &dip, &response,
+                    );
+                }
+                SatResult::Unsat => {
+                    exact = true;
+                    break 'outer;
+                }
+            }
+        }
+
+        // Phase 2: random queries + settlement test on the current key.
+        let key = extract_key(&mut keysolver, &keyvars, locked.num_key_bits());
+        let mut errors = 0usize;
+        let mut round_queries: Vec<(Vec<bool>, Vec<bool>)> = Vec::new();
+        for _ in 0..config.queries_per_round {
+            let x: Vec<bool> = (0..locked.num_primary_inputs())
+                .map(|_| rng.gen())
+                .collect();
+            let response = oracle.simulate(&x);
+            random_queries += 1;
+            if locked.simulate(&x, &key) != response {
+                errors += 1;
+                // Reinforce: wrong queries become constraints.
+                round_queries.push((x, response));
+            }
+        }
+        for (x, response) in &round_queries {
+            crate::sat_attack::add_io_constraint(
+                locked, &mut miter, &key1, x, response,
+            );
+            crate::sat_attack::add_io_constraint(
+                locked, &mut miter, &key2, x, response,
+            );
+            crate::sat_attack::add_io_constraint(
+                locked, &mut keysolver, &keyvars, x, response,
+            );
+        }
+        let err_rate = errors as f64 / config.queries_per_round as f64;
+        if err_rate <= config.error_threshold {
+            consecutive_settled += 1;
+            if consecutive_settled >= config.settlement_rounds {
+                break;
+            }
+        } else {
+            consecutive_settled = 0;
+        }
+    }
+
+    let key = extract_key(&mut keysolver, &keyvars, locked.num_key_bits());
+    let estimated_accuracy = locked.key_accuracy(oracle, &key, 2000, rng);
+    AppSatResult {
+        key,
+        dip_iterations,
+        random_queries,
+        settled_early: !exact,
+        estimated_accuracy,
+    }
+}
+
+fn extract_key(keysolver: &mut Solver, keyvars: &[Var], nk: usize) -> BitVec {
+    match keysolver.solve() {
+        SatResult::Sat(model) => {
+            let mut k = BitVec::zeros(nk);
+            for (i, v) in keyvars.iter().enumerate() {
+                k.set(i, model.value(*v));
+            }
+            k
+        }
+        SatResult::Unsat => unreachable!("correct key always consistent"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combinational::lock_xor;
+    use mlam_netlist::generate::{c17, random_circuit, ripple_adder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reaches_high_accuracy_on_c17() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let oracle = c17();
+        let locked = lock_xor(&oracle, 4, &mut rng);
+        let result = appsat(&locked, &oracle, AppSatConfig::default(), &mut rng);
+        assert!(
+            result.estimated_accuracy > 0.97,
+            "accuracy {}",
+            result.estimated_accuracy
+        );
+    }
+
+    #[test]
+    fn reaches_high_accuracy_on_adder() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let oracle = ripple_adder(3);
+        let locked = lock_xor(&oracle, 8, &mut rng);
+        let result = appsat(&locked, &oracle, AppSatConfig::default(), &mut rng);
+        assert!(
+            result.estimated_accuracy > 0.95,
+            "accuracy {}",
+            result.estimated_accuracy
+        );
+        assert!(result.dip_iterations + result.random_queries > 0);
+    }
+
+    #[test]
+    fn random_circuit_settles() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let oracle = random_circuit(10, 50, 2, &mut rng);
+        let locked = lock_xor(&oracle, 12, &mut rng);
+        let result = appsat(&locked, &oracle, AppSatConfig::default(), &mut rng);
+        assert!(
+            result.estimated_accuracy > 0.9,
+            "accuracy {}",
+            result.estimated_accuracy
+        );
+    }
+
+    #[test]
+    fn tight_threshold_still_terminates_via_unsat() {
+        // With a zero error threshold AppSAT only stops by settling at
+        // perfect rounds or by exhausting the miter — on a small circuit
+        // the latter happens quickly.
+        let mut rng = StdRng::seed_from_u64(4);
+        let oracle = c17();
+        let locked = lock_xor(&oracle, 3, &mut rng);
+        let cfg = AppSatConfig {
+            error_threshold: 0.0,
+            ..Default::default()
+        };
+        let result = appsat(&locked, &oracle, cfg, &mut rng);
+        assert!(result.estimated_accuracy > 0.99);
+    }
+}

@@ -1,0 +1,41 @@
+//! Logic locking schemes and the oracle-guided attacks the paper
+//! discusses (Sections II-A, IV-A and V).
+//!
+//! - [`combinational`]: EPIC-style XOR/XNOR key-gate insertion
+//!   ([`LockedNetlist`]);
+//! - [`sat_attack`]: the oracle-guided SAT attack (DIP loop) built on
+//!   the `mlam-sat` CDCL solver — the "provable ML algorithm via
+//!   SAT-solvers" of \[4\], \[5\];
+//! - [`appsat`]: AppSAT-style *approximate* deobfuscation mixing DIPs
+//!   with random queries — the online-ML-to-PAC conversion of
+//!   Section V-A;
+//! - [`pac_attack`]: the pure random-example attack (uniform PAC
+//!   learning of the locked function by version-space sampling);
+//! - [`sequential`]: HARPOON-style FSM obfuscation and its L*-based
+//!   unlock-sequence recovery (Section V-B).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mlam_locking::combinational::lock_xor;
+//! use mlam_locking::sat_attack::{sat_attack, SatAttackConfig};
+//! use mlam_netlist::generate::c17;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let original = c17();
+//! let locked = lock_xor(&original, 4, &mut rng);
+//! let result = sat_attack(&locked, &original, SatAttackConfig::default());
+//! assert!(result.key_is_functionally_correct);
+//! ```
+
+pub mod anti_sat;
+pub mod appsat;
+pub mod combinational;
+pub mod pac_attack;
+pub mod sat_attack;
+pub mod sequential;
+
+pub use anti_sat::lock_sarlock;
+pub use combinational::{lock_xor, LockedNetlist};
+pub use sequential::{Fsm, ObfuscatedFsm};

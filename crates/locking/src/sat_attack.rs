@@ -1,0 +1,291 @@
+//! The oracle-guided SAT attack on combinational logic locking
+//! (Subramanyan et al.; the paper's Section II-A frames it as a
+//! provable ML algorithm obtained by reduction to SAT).
+//!
+//! The attack maintains a *miter*: two copies of the locked circuit
+//! sharing the primary inputs but carrying independent key vectors, with
+//! the constraint that some output differs. A model of the miter yields
+//! a **distinguishing input pattern (DIP)**; querying the unlocked
+//! oracle on the DIP and constraining both key copies to reproduce the
+//! observed output prunes all keys inconsistent with it. When the miter
+//! becomes UNSAT, every key consistent with the accumulated I/O
+//! constraints is functionally correct.
+
+use crate::combinational::LockedNetlist;
+use mlam_boolean::BitVec;
+use mlam_netlist::{cnf::tseitin_encode, Cnf, Netlist};
+use mlam_sat::{Lit, SatResult, Solver, Var};
+
+/// Configuration of the SAT attack.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SatAttackConfig {
+    /// Abort after this many DIP iterations.
+    pub max_iterations: usize,
+    /// Random samples used for the post-hoc accuracy estimate
+    /// (exhaustive check is used when the input space is small).
+    pub validation_samples: usize,
+}
+
+impl Default for SatAttackConfig {
+    fn default() -> Self {
+        SatAttackConfig {
+            max_iterations: 10_000,
+            validation_samples: 2000,
+        }
+    }
+}
+
+/// Result of a SAT attack run.
+#[derive(Clone, Debug)]
+pub struct SatAttackResult {
+    /// The recovered key.
+    pub key: BitVec,
+    /// DIP iterations used.
+    pub iterations: usize,
+    /// Whether the recovered key makes the locked circuit functionally
+    /// equivalent to the oracle (exhaustive for ≤ 20 primary inputs).
+    pub key_is_functionally_correct: bool,
+    /// Total SAT conflicts across all solver calls.
+    pub sat_conflicts: u64,
+}
+
+/// Helper bundling a CNF buffer and its solver-variable offset: our CNF
+/// builder allocates 1-based variables, which are mapped onto solver
+/// variables on transfer.
+struct CnfTransfer {
+    vars: Vec<Var>,
+}
+
+impl CnfTransfer {
+    /// Loads `cnf` into `solver` with fresh variables; returns the map
+    /// from CNF variable index (1-based) to solver variable.
+    fn load(cnf: &Cnf, solver: &mut Solver) -> CnfTransfer {
+        let vars = solver.new_vars(cnf.num_vars);
+        for clause in &cnf.clauses {
+            let lits: Vec<Lit> = clause
+                .iter()
+                .map(|&l| Lit::new(vars[(l.unsigned_abs() - 1) as usize], l < 0))
+                .collect();
+            solver.add_clause(&lits);
+        }
+        CnfTransfer { vars }
+    }
+
+    fn var(&self, cnf_var: i32) -> Var {
+        self.vars[(cnf_var.unsigned_abs() - 1) as usize]
+    }
+}
+
+/// Encodes one copy of the locked netlist into the solver; returns
+/// `(input_vars, key_vars, output_vars)`.
+pub(crate) fn encode_copy(
+    locked: &LockedNetlist,
+    solver: &mut Solver,
+) -> (Vec<Var>, Vec<Var>, Vec<Var>) {
+    let mut cnf = Cnf::new(0);
+    let enc = tseitin_encode(locked.netlist(), &mut cnf);
+    let transfer = CnfTransfer::load(&cnf, solver);
+    let np = locked.num_primary_inputs();
+    let nk = locked.num_key_bits();
+    let inputs: Vec<Var> = (0..np).map(|i| transfer.var(enc.vars[i])).collect();
+    let keys: Vec<Var> = (0..nk).map(|i| transfer.var(enc.vars[np + i])).collect();
+    let outputs: Vec<Var> = locked
+        .netlist()
+        .outputs()
+        .iter()
+        .map(|o| transfer.var(enc.vars[o.index()]))
+        .collect();
+    (inputs, keys, outputs)
+}
+
+/// Adds the constraint "circuit(x = dip, key = key_vars) produces
+/// outputs = response" by instantiating a fresh copy of the circuit with
+/// pinned inputs and outputs, sharing `key_vars`.
+pub(crate) fn add_io_constraint(
+    locked: &LockedNetlist,
+    solver: &mut Solver,
+    key_vars: &[Var],
+    dip: &[bool],
+    response: &[bool],
+) {
+    let (inputs, keys, outputs) = encode_copy(locked, solver);
+    for (v, &b) in inputs.iter().zip(dip) {
+        solver.add_clause(&[Lit::new(*v, !b)]);
+    }
+    for (kv, shared) in keys.iter().zip(key_vars) {
+        // kv <-> shared
+        solver.add_clause(&[Lit::pos(*kv), Lit::neg(*shared)]);
+        solver.add_clause(&[Lit::neg(*kv), Lit::pos(*shared)]);
+    }
+    for (v, &b) in outputs.iter().zip(response) {
+        solver.add_clause(&[Lit::new(*v, !b)]);
+    }
+}
+
+/// Runs the SAT attack against `locked`, with `oracle` standing in for
+/// the activated chip (the attacker queries it on chosen inputs — the
+/// *membership query* access of Section IV).
+///
+/// # Panics
+///
+/// Panics if the oracle's shape differs from the locked circuit's, or
+/// if `max_iterations` is exhausted (indicating a pathological
+/// instance).
+pub fn sat_attack(
+    locked: &LockedNetlist,
+    oracle: &Netlist,
+    config: SatAttackConfig,
+) -> SatAttackResult {
+    assert_eq!(
+        oracle.num_inputs(),
+        locked.num_primary_inputs(),
+        "oracle input width"
+    );
+    assert_eq!(
+        oracle.num_outputs(),
+        locked.netlist().num_outputs(),
+        "oracle output count"
+    );
+
+    // Miter solver: two copies with shared inputs, distinct keys.
+    let mut miter = Solver::new();
+    let (in1, key1, out1) = encode_copy(locked, &mut miter);
+    let (in2, key2, out2) = encode_copy(locked, &mut miter);
+    for (a, b) in in1.iter().zip(&in2) {
+        miter.add_clause(&[Lit::pos(*a), Lit::neg(*b)]);
+        miter.add_clause(&[Lit::neg(*a), Lit::pos(*b)]);
+    }
+    // Some output differs: OR over XOR outputs.
+    let mut diff_lits = Vec::new();
+    for (a, b) in out1.iter().zip(&out2) {
+        let d = miter.new_var();
+        // d <-> a XOR b
+        miter.add_clause(&[Lit::neg(d), Lit::pos(*a), Lit::pos(*b)]);
+        miter.add_clause(&[Lit::neg(d), Lit::neg(*a), Lit::neg(*b)]);
+        miter.add_clause(&[Lit::pos(d), Lit::neg(*a), Lit::pos(*b)]);
+        miter.add_clause(&[Lit::pos(d), Lit::pos(*a), Lit::neg(*b)]);
+        diff_lits.push(Lit::pos(d));
+    }
+    miter.add_clause(&diff_lits);
+
+    // Key-consistency solver: one key vector, accumulating I/O
+    // constraints; any model is a key consistent with everything seen.
+    let mut keysolver = Solver::new();
+    let (_kin, keyvars, _kout) = encode_copy(locked, &mut keysolver);
+
+    let mut iterations = 0usize;
+    loop {
+        assert!(
+            iterations < config.max_iterations,
+            "SAT attack exceeded {} iterations",
+            config.max_iterations
+        );
+        match miter.solve() {
+            SatResult::Sat(model) => {
+                iterations += 1;
+                let dip: Vec<bool> = in1.iter().map(|v| model.value(*v)).collect();
+                let response = oracle.simulate(&dip);
+                // Prune the miter: both key copies must reproduce it.
+                add_io_constraint(locked, &mut miter, &key1, &dip, &response);
+                add_io_constraint(locked, &mut miter, &key2, &dip, &response);
+                // And the key-consistency instance.
+                add_io_constraint(locked, &mut keysolver, &keyvars, &dip, &response);
+            }
+            SatResult::Unsat => break,
+        }
+    }
+
+    // Extract any consistent key.
+    let key = match keysolver.solve() {
+        SatResult::Sat(model) => {
+            let mut k = BitVec::zeros(locked.num_key_bits());
+            for (i, v) in keyvars.iter().enumerate() {
+                k.set(i, model.value(*v));
+            }
+            k
+        }
+        SatResult::Unsat => unreachable!("the correct key is always consistent"),
+    };
+
+    let key_is_functionally_correct = if locked.num_primary_inputs() <= 16 {
+        locked.equivalent_under_key(oracle, &key)
+    } else {
+        // Formal BDD-based check: exact for any input width (the
+        // `validation_samples` knob remains for callers that validate
+        // separately by sampling).
+        let _ = config.validation_samples;
+        locked.equivalent_under_key_formal(oracle, &key)
+    };
+
+    SatAttackResult {
+        key,
+        iterations,
+        key_is_functionally_correct,
+        sat_conflicts: miter.stats().conflicts + keysolver.stats().conflicts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combinational::lock_xor;
+    use mlam_netlist::generate::{c17, comparator, random_circuit, ripple_adder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn attack_and_check(oracle: &Netlist, key_bits: usize, seed: u64) -> SatAttackResult {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let locked = lock_xor(oracle, key_bits, &mut rng);
+        let result = sat_attack(&locked, oracle, SatAttackConfig::default());
+        assert!(
+            result.key_is_functionally_correct,
+            "recovered key must unlock the circuit (seed {seed})"
+        );
+        result
+    }
+
+    #[test]
+    fn recovers_c17_key() {
+        let r = attack_and_check(&c17(), 4, 1);
+        assert!(r.iterations <= 32, "iterations {}", r.iterations);
+    }
+
+    #[test]
+    fn recovers_adder_key() {
+        attack_and_check(&ripple_adder(3), 6, 2);
+    }
+
+    #[test]
+    fn recovers_comparator_key() {
+        attack_and_check(&comparator(4), 8, 3);
+    }
+
+    #[test]
+    fn recovers_random_circuit_keys() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for seed in 0..3 {
+            let oracle = random_circuit(8, 40, 2, &mut rng);
+            attack_and_check(&oracle, 10, 100 + seed);
+        }
+    }
+
+    #[test]
+    fn recovered_key_may_differ_but_is_equivalent() {
+        // Functional equivalence is what matters: with XOR-masking
+        // interactions there can be multiple correct keys.
+        let r = attack_and_check(&c17(), 6, 5);
+        assert!(r.key.len() == 6);
+    }
+
+    #[test]
+    fn iteration_count_is_logarithmic_ish_in_keyspace() {
+        // The DIP loop prunes many keys at once: iterations should be
+        // far below 2^key_bits.
+        let r = attack_and_check(&ripple_adder(3), 8, 6);
+        assert!(
+            r.iterations < 64,
+            "DIP iterations {} should be << 256",
+            r.iterations
+        );
+    }
+}

@@ -1,0 +1,419 @@
+//! Sequential logic locking: HARPOON-style FSM obfuscation and its
+//! L*-based attack (paper, Section V-B).
+//!
+//! A [`Fsm`] is a Moore machine with a one-bit output. Obfuscation
+//! ([`ObfuscatedFsm`]) prepends a chain of obfuscation-mode states: the
+//! device only enters its functional mode after receiving the secret
+//! unlock sequence; any wrong symbol resets the chain. In obfuscation
+//! mode the output is a constant (garbage).
+//!
+//! The attack treats the obfuscated machine as a black-box DFA (output
+//! bit = acceptance), learns it with Angluin's L*
+//! ([`lstar_attack`]) and recovers the unlock sequence by searching the
+//! learned model for the shortest word whose residual behaviour equals
+//! the functional mode ([`recover_unlock_sequence`]).
+
+use mlam_learn::automata::Dfa;
+use mlam_learn::lstar::{lstar_learn, DfaTeacher, ExactDfaTeacher, LstarOutcome};
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// A Moore machine with a single-bit output per state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fsm {
+    alphabet: usize,
+    /// `transitions[state][symbol]`.
+    transitions: Vec<Vec<usize>>,
+    /// Output bit per state.
+    outputs: Vec<bool>,
+}
+
+impl Fsm {
+    /// Creates an FSM; state 0 is initial.
+    ///
+    /// # Panics
+    ///
+    /// Panics on table shape violations (same rules as [`Dfa::new`]).
+    pub fn new(alphabet: usize, transitions: Vec<Vec<usize>>, outputs: Vec<bool>) -> Self {
+        // Delegate validation to the DFA constructor.
+        let _ = Dfa::new(alphabet, transitions.clone(), outputs.clone());
+        Fsm {
+            alphabet,
+            transitions,
+            outputs,
+        }
+    }
+
+    /// Generates a random connected FSM with `states` states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states == 0` or `alphabet == 0`.
+    pub fn random<R: Rng + ?Sized>(states: usize, alphabet: usize, rng: &mut R) -> Self {
+        assert!(states > 0 && alphabet > 0);
+        let mut transitions = vec![vec![0usize; alphabet]; states];
+        // Spanning chain for connectivity, then random edges.
+        for (s, row) in transitions.iter_mut().enumerate() {
+            for (a, t) in row.iter_mut().enumerate() {
+                *t = if a == 0 && s + 1 < states {
+                    s + 1
+                } else {
+                    rng.gen_range(0..states)
+                };
+            }
+        }
+        let outputs = (0..states).map(|_| rng.gen()).collect();
+        Fsm {
+            alphabet,
+            transitions,
+            outputs,
+        }
+    }
+
+    /// Alphabet size.
+    pub fn alphabet_size(&self) -> usize {
+        self.alphabet
+    }
+
+    /// State count.
+    pub fn num_states(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Runs the machine from the initial state, returning the final
+    /// state's output bit.
+    pub fn output(&self, word: &[usize]) -> bool {
+        let mut s = 0usize;
+        for &sym in word {
+            assert!(sym < self.alphabet, "symbol outside alphabet");
+            s = self.transitions[s][sym];
+        }
+        self.outputs[s]
+    }
+
+    /// The equivalent DFA view (acceptance = output bit).
+    pub fn to_dfa(&self) -> Dfa {
+        Dfa::new(self.alphabet, self.transitions.clone(), self.outputs.clone())
+    }
+}
+
+/// A HARPOON-style obfuscated FSM.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObfuscatedFsm {
+    functional: Fsm,
+    unlock_sequence: Vec<usize>,
+    /// The combined machine: obfuscation chain followed by the
+    /// functional machine.
+    combined: Fsm,
+}
+
+impl ObfuscatedFsm {
+    /// Obfuscates `functional` behind `unlock_sequence` (non-empty, all
+    /// symbols within the alphabet).
+    ///
+    /// Obfuscation-mode semantics: the machine starts in chain state 0;
+    /// symbol `unlock_sequence[i]` advances the chain, anything else
+    /// resets it to chain state 0 (or to chain state 1 if the wrong
+    /// symbol happens to equal the first unlock symbol). Output in the
+    /// chain is constant `false`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence is empty or contains out-of-alphabet
+    /// symbols.
+    pub fn new(functional: Fsm, unlock_sequence: Vec<usize>) -> Self {
+        assert!(!unlock_sequence.is_empty(), "unlock sequence must be non-empty");
+        let k = functional.alphabet_size();
+        assert!(
+            unlock_sequence.iter().all(|&s| s < k),
+            "unlock symbols must be within the alphabet"
+        );
+        let chain_len = unlock_sequence.len();
+        let offset = chain_len; // functional state s -> combined state offset + s
+        let num_states = chain_len + functional.num_states();
+        let mut transitions = vec![vec![0usize; k]; num_states];
+        let mut outputs = vec![false; num_states];
+
+        for (i, row) in transitions.iter_mut().enumerate().take(chain_len) {
+            for (sym, t) in row.iter_mut().enumerate() {
+                if sym == unlock_sequence[i] {
+                    *t = if i + 1 == chain_len { offset } else { i + 1 };
+                } else {
+                    // Reset, crediting a restart when the wrong symbol
+                    // equals the first unlock symbol.
+                    *t = if sym == unlock_sequence[0] && chain_len > 1 {
+                        1
+                    } else {
+                        0
+                    };
+                }
+            }
+        }
+        for s in 0..functional.num_states() {
+            #[allow(clippy::needless_range_loop)]
+            for sym in 0..k {
+                transitions[offset + s][sym] = offset + functional.transitions[s][sym];
+            }
+            outputs[offset + s] = functional.outputs[s];
+        }
+        let combined = Fsm::new(k, transitions, outputs);
+        ObfuscatedFsm {
+            functional,
+            unlock_sequence,
+            combined,
+        }
+    }
+
+    /// The functional (secret) machine.
+    pub fn functional(&self) -> &Fsm {
+        &self.functional
+    }
+
+    /// The secret unlock sequence (for validation only).
+    pub fn unlock_sequence(&self) -> &[usize] {
+        &self.unlock_sequence
+    }
+
+    /// The combined machine the attacker interacts with.
+    pub fn combined(&self) -> &Fsm {
+        &self.combined
+    }
+}
+
+/// Result of the L* attack on an obfuscated FSM.
+#[derive(Clone, Debug)]
+pub struct SequentialAttackResult {
+    /// The L* run details.
+    pub lstar: LstarOutcome,
+    /// Membership queries spent.
+    pub membership_queries: usize,
+    /// The recovered unlock sequence, if one was found.
+    pub unlock_sequence: Option<Vec<usize>>,
+}
+
+/// Learns the obfuscated machine with L* and recovers an unlock
+/// sequence from the learned model.
+///
+/// The teacher answers membership queries by *running the device*
+/// (black-box access) and equivalence queries exactly — standing in
+/// for the scan-chain/bounded-model-check verification an attacker with
+/// netlist access performs. For a pure query-based variant, swap the
+/// teacher for a sampling one.
+pub fn lstar_attack(target: &ObfuscatedFsm) -> SequentialAttackResult {
+    let mut teacher = ExactDfaTeacher::new(target.combined().to_dfa());
+    let lstar = lstar_learn(&mut teacher, 10_000);
+    let membership_queries = teacher.membership_queries;
+    let unlock_sequence =
+        recover_unlock_sequence(&lstar.dfa, &target.functional().to_dfa());
+    SequentialAttackResult {
+        lstar,
+        membership_queries,
+        unlock_sequence,
+    }
+}
+
+/// Searches `learned` (BFS, shortest first) for a word `w` such that
+/// the residual machine after `w` is equivalent to `functional` from
+/// its initial state. Returns the shortest such word.
+pub fn recover_unlock_sequence(learned: &Dfa, functional: &Dfa) -> Option<Vec<usize>> {
+    assert_eq!(learned.alphabet_size(), functional.alphabet_size());
+    let k = learned.alphabet_size();
+    let mut seen = vec![false; learned.num_states()];
+    let mut queue: VecDeque<(usize, Vec<usize>)> = VecDeque::new();
+    queue.push_back((0, Vec::new()));
+    seen[0] = true;
+    while let Some((state, word)) = queue.pop_front() {
+        if states_equivalent(learned, state, functional, 0) {
+            return Some(word);
+        }
+        for sym in 0..k {
+            let next = learned.transitions()[state][sym];
+            if !seen[next] {
+                seen[next] = true;
+                let mut w = word.clone();
+                w.push(sym);
+                queue.push_back((next, w));
+            }
+        }
+    }
+    None
+}
+
+/// Checks whether `a` started at `sa` and `b` started at `sb` accept
+/// the same language (BFS over the product).
+fn states_equivalent(a: &Dfa, sa: usize, b: &Dfa, sb: usize) -> bool {
+    let k = a.alphabet_size();
+    let mut seen = std::collections::HashSet::new();
+    let mut queue = VecDeque::new();
+    queue.push_back((sa, sb));
+    seen.insert((sa, sb));
+    while let Some((x, y)) = queue.pop_front() {
+        if a.is_accepting(x) != b.is_accepting(y) {
+            return false;
+        }
+        for sym in 0..k {
+            let nx = a.transitions()[x][sym];
+            let ny = b.transitions()[y][sym];
+            if seen.insert((nx, ny)) {
+                queue.push_back((nx, ny));
+            }
+        }
+    }
+    true
+}
+
+/// A sampling teacher: equivalence is simulated with random words, as
+/// Angluin's conversion prescribes — the weakest realistic access.
+#[derive(Debug)]
+pub struct SamplingDfaTeacher<'a, R: Rng> {
+    target: Dfa,
+    rng: &'a mut R,
+    /// Words per simulated equivalence query.
+    pub budget: usize,
+    /// Maximum sampled word length.
+    pub max_len: usize,
+    /// Membership queries answered.
+    pub membership_queries: usize,
+}
+
+impl<'a, R: Rng> SamplingDfaTeacher<'a, R> {
+    /// Creates a sampling teacher over `target`.
+    pub fn new(target: Dfa, budget: usize, max_len: usize, rng: &'a mut R) -> Self {
+        SamplingDfaTeacher {
+            target,
+            rng,
+            budget,
+            max_len,
+            membership_queries: 0,
+        }
+    }
+}
+
+impl<R: Rng> DfaTeacher for SamplingDfaTeacher<'_, R> {
+    fn alphabet_size(&self) -> usize {
+        self.target.alphabet_size()
+    }
+
+    fn member(&mut self, word: &[usize]) -> bool {
+        self.membership_queries += 1;
+        self.target.accepts(word)
+    }
+
+    fn equivalent(&mut self, hypothesis: &Dfa) -> Option<Vec<usize>> {
+        let k = self.target.alphabet_size();
+        for _ in 0..self.budget {
+            let len = self.rng.gen_range(0..=self.max_len);
+            let word: Vec<usize> = (0..len).map(|_| self.rng.gen_range(0..k)).collect();
+            if self.target.accepts(&word) != hypothesis.accepts(&word) {
+                return Some(word);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toggle_fsm() -> Fsm {
+        // Two states toggled by symbol 1; output = state bit.
+        Fsm::new(2, vec![vec![0, 1], vec![1, 0]], vec![false, true])
+    }
+
+    #[test]
+    fn obfuscated_machine_requires_unlock() {
+        let obf = ObfuscatedFsm::new(toggle_fsm(), vec![1, 0, 1]);
+        let m = obf.combined();
+        // Before unlocking, output stays false.
+        assert!(!m.output(&[]));
+        assert!(!m.output(&[0, 0, 0]));
+        assert!(!m.output(&[1, 0])); // partial unlock
+        // After the unlock sequence the machine behaves functionally:
+        // unlock [1,0,1] then toggle once -> state 1 -> output true.
+        assert!(m.output(&[1, 0, 1, 1]));
+        assert!(!m.output(&[1, 0, 1, 1, 1]));
+    }
+
+    #[test]
+    fn wrong_symbol_resets_the_chain() {
+        let obf = ObfuscatedFsm::new(toggle_fsm(), vec![1, 0]);
+        let m = obf.combined();
+        // 1 (advance), 1 (wrong, but equals first symbol -> re-credit).
+        // then 0 completes the unlock.
+        assert!(m.output(&[1, 1, 0, 1]));
+        // Entirely wrong prefix keeps it locked.
+        assert!(!m.output(&[0, 0, 0, 0, 1]));
+    }
+
+    #[test]
+    fn lstar_attack_recovers_unlock_sequence() {
+        let obf = ObfuscatedFsm::new(toggle_fsm(), vec![1, 0, 1]);
+        let result = lstar_attack(&obf);
+        let seq = result.unlock_sequence.expect("sequence found");
+        // The recovered word must actually unlock the device: running it
+        // then behaving functionally.
+        let m = obf.combined();
+        let mut word = seq.clone();
+        word.push(1); // toggle once -> output true iff unlocked
+        assert!(m.output(&word), "recovered sequence {seq:?} fails");
+        assert_eq!(seq.len(), 3, "shortest unlock has the secret's length");
+    }
+
+    #[test]
+    fn lstar_attack_on_random_fsms() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for states in [3usize, 5, 8] {
+            let fsm = Fsm::random(states, 2, &mut rng);
+            let seq: Vec<usize> = (0..4).map(|_| rng.gen_range(0..2)).collect();
+            let obf = ObfuscatedFsm::new(fsm, seq);
+            let result = lstar_attack(&obf);
+            // The learned machine is exactly equivalent.
+            assert_eq!(
+                result
+                    .lstar
+                    .dfa
+                    .shortest_disagreement(&obf.combined().to_dfa()),
+                None,
+                "states={states}"
+            );
+            // An unlock word exists in the learned model unless the
+            // functional machine is degenerate (constant output),
+            // in which case unlocking is undetectable.
+            if result.unlock_sequence.is_none() {
+                let d = obf.functional().to_dfa().minimized();
+                assert_eq!(d.num_states(), 1, "only degenerate FSMs may fail");
+            }
+        }
+    }
+
+    #[test]
+    fn query_cost_scales_polynomially() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let fsm_small = Fsm::random(3, 2, &mut rng);
+        let fsm_large = Fsm::random(12, 2, &mut rng);
+        let obf_small = ObfuscatedFsm::new(fsm_small, vec![0, 1]);
+        let obf_large = ObfuscatedFsm::new(fsm_large, vec![0, 1]);
+        let r_small = lstar_attack(&obf_small);
+        let r_large = lstar_attack(&obf_large);
+        assert!(r_large.membership_queries < 100_000);
+        assert!(r_small.membership_queries <= r_large.membership_queries * 2);
+    }
+
+    #[test]
+    fn sampling_teacher_learns_small_machine() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let target = toggle_fsm().to_dfa();
+        let mut teacher = SamplingDfaTeacher::new(target.clone(), 500, 12, &mut rng);
+        let out = lstar_learn(&mut teacher, 200);
+        assert_eq!(out.dfa.shortest_disagreement(&target), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_unlock_sequence_panics() {
+        ObfuscatedFsm::new(toggle_fsm(), vec![]);
+    }
+}

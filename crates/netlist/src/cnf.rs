@@ -1,0 +1,320 @@
+//! Tseitin encoding of netlists into CNF, for the SAT attack.
+
+use crate::netlist::{GateKind, Net, Netlist};
+
+/// A CNF formula in DIMACS conventions: variables are `1..=num_vars`,
+/// a literal is a non-zero `i32` (negative = negated).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Cnf {
+    /// Number of variables.
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Vec<i32>>,
+}
+
+impl Cnf {
+    /// Creates an empty formula over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Self {
+        Cnf {
+            num_vars,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Allocates a fresh variable and returns its index.
+    pub fn fresh_var(&mut self) -> i32 {
+        self.num_vars += 1;
+        self.num_vars as i32
+    }
+
+    /// Adds a clause.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clause is empty or references an unknown variable.
+    pub fn add_clause(&mut self, clause: Vec<i32>) {
+        assert!(!clause.is_empty(), "empty clause");
+        for &lit in &clause {
+            assert!(lit != 0, "zero literal");
+            assert!(
+                lit.unsigned_abs() as usize <= self.num_vars,
+                "literal {lit} out of range"
+            );
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Evaluates the formula under a full assignment
+    /// (`assignment[v-1]` = value of variable `v`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() != num_vars`.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        assert_eq!(assignment.len(), self.num_vars, "assignment width");
+        self.clauses.iter().all(|clause| {
+            clause.iter().any(|&lit| {
+                let v = assignment[lit.unsigned_abs() as usize - 1];
+                if lit > 0 {
+                    v
+                } else {
+                    !v
+                }
+            })
+        })
+    }
+}
+
+/// Result of Tseitin-encoding a netlist: the variable assigned to each
+/// net (the clauses themselves are appended to the caller's [`Cnf`]).
+///
+/// Net `i` of the source netlist maps to CNF variable `vars[i]`.
+#[derive(Clone, Debug)]
+pub struct TseitinEncoding {
+    /// CNF variable of each net, indexed by [`Net::index`].
+    pub vars: Vec<i32>,
+}
+
+impl TseitinEncoding {
+    /// The CNF variable carrying net `net`.
+    pub fn var(&self, net: Net) -> i32 {
+        self.vars[net.index()]
+    }
+
+    /// CNF variables of the primary inputs.
+    pub fn input_vars(&self, netlist: &Netlist) -> Vec<i32> {
+        (0..netlist.num_inputs()).map(|i| self.vars[i]).collect()
+    }
+
+    /// CNF variables of the outputs.
+    pub fn output_vars(&self, netlist: &Netlist) -> Vec<i32> {
+        netlist.outputs().iter().map(|o| self.var(*o)).collect()
+    }
+}
+
+/// Tseitin-encodes a netlist into `cnf`, allocating fresh variables.
+///
+/// The returned encoding's CNF is satisfiable exactly by assignments
+/// that are consistent executions of the circuit: for every model, each
+/// gate variable equals the gate function of its input variables.
+///
+/// Encoding sizes: AND/OR/NAND/NOR use `fan_in + 1` clauses; XOR/XNOR
+/// are encoded pairwise; MUX uses 4 clauses.
+pub fn tseitin_encode(netlist: &Netlist, cnf: &mut Cnf) -> TseitinEncoding {
+    let mut vars = Vec::with_capacity(netlist.num_nets());
+    for _ in 0..netlist.num_inputs() {
+        vars.push(cnf.fresh_var());
+    }
+    for gate in netlist.gates() {
+        let ins: Vec<i32> = gate.inputs.iter().map(|n| vars[n.index()]).collect();
+        let out = match gate.kind {
+            GateKind::And => encode_and(cnf, &ins, false),
+            GateKind::Nand => encode_and(cnf, &ins, true),
+            GateKind::Or => encode_or(cnf, &ins, false),
+            GateKind::Nor => encode_or(cnf, &ins, true),
+            GateKind::Xor => encode_xor_chain(cnf, &ins, false),
+            GateKind::Xnor => encode_xor_chain(cnf, &ins, true),
+            GateKind::Not => {
+                let o = cnf.fresh_var();
+                cnf.add_clause(vec![o, ins[0]]);
+                cnf.add_clause(vec![-o, -ins[0]]);
+                o
+            }
+            GateKind::Buf => {
+                let o = cnf.fresh_var();
+                cnf.add_clause(vec![-o, ins[0]]);
+                cnf.add_clause(vec![o, -ins[0]]);
+                o
+            }
+            GateKind::Mux => {
+                let (s, a, b) = (ins[0], ins[1], ins[2]);
+                let o = cnf.fresh_var();
+                // s=0 -> o=a ; s=1 -> o=b.
+                cnf.add_clause(vec![s, -o, a]);
+                cnf.add_clause(vec![s, o, -a]);
+                cnf.add_clause(vec![-s, -o, b]);
+                cnf.add_clause(vec![-s, o, -b]);
+                o
+            }
+        };
+        vars.push(out);
+    }
+    TseitinEncoding { vars }
+}
+
+fn encode_and(cnf: &mut Cnf, ins: &[i32], negate: bool) -> i32 {
+    let o = cnf.fresh_var();
+    let out_lit = if negate { -o } else { o };
+    // out -> every input true.
+    for &i in ins {
+        cnf.add_clause(vec![-out_lit, i]);
+    }
+    // all inputs true -> out.
+    let mut clause: Vec<i32> = ins.iter().map(|&i| -i).collect();
+    clause.push(out_lit);
+    cnf.add_clause(clause);
+    o
+}
+
+fn encode_or(cnf: &mut Cnf, ins: &[i32], negate: bool) -> i32 {
+    let o = cnf.fresh_var();
+    let out_lit = if negate { -o } else { o };
+    for &i in ins {
+        cnf.add_clause(vec![out_lit, -i]);
+    }
+    let mut clause: Vec<i32> = ins.to_vec();
+    clause.push(-out_lit);
+    cnf.add_clause(clause);
+    o
+}
+
+fn encode_xor2(cnf: &mut Cnf, a: i32, b: i32) -> i32 {
+    let o = cnf.fresh_var();
+    cnf.add_clause(vec![-o, a, b]);
+    cnf.add_clause(vec![-o, -a, -b]);
+    cnf.add_clause(vec![o, -a, b]);
+    cnf.add_clause(vec![o, a, -b]);
+    o
+}
+
+fn encode_xor_chain(cnf: &mut Cnf, ins: &[i32], negate: bool) -> i32 {
+    let mut acc = ins[0];
+    for &i in &ins[1..] {
+        acc = encode_xor2(cnf, acc, i);
+    }
+    if negate {
+        let o = cnf.fresh_var();
+        cnf.add_clause(vec![o, acc]);
+        cnf.add_clause(vec![-o, -acc]);
+        o
+    } else if ins.len() == 1 {
+        // Single-input XOR is a buffer; give it its own variable to keep
+        // the net-to-var map injective over gates.
+        let o = cnf.fresh_var();
+        cnf.add_clause(vec![-o, acc]);
+        cnf.add_clause(vec![o, -acc]);
+        o
+    } else {
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{c17, parity_tree, ripple_adder};
+    use crate::netlist::Netlist;
+
+    /// Checks equisatisfiability constructively: for every input
+    /// assignment, extend it along the circuit and verify the CNF is
+    /// satisfied with the correct output variable values.
+    fn check_encoding(netlist: &Netlist) {
+        assert!(netlist.num_inputs() <= 12);
+        let mut cnf = Cnf::new(0);
+        let enc = tseitin_encode(netlist, &mut cnf);
+        for v in 0..(1u64 << netlist.num_inputs()) {
+            let bits: Vec<bool> = (0..netlist.num_inputs())
+                .map(|i| v >> i & 1 == 1)
+                .collect();
+            let net_values = netlist.simulate_nets(&bits);
+            // Build the full assignment: every CNF var that corresponds
+            // to a net takes the simulated value; Tseitin-internal vars
+            // (from XOR chains) must be computed too. We instead check
+            // satisfiability via unit propagation of net vars only when
+            // there are no internal vars; for the general case, evaluate
+            // clause-by-clause with internal variables derived from the
+            // simulation by re-walking the encoding.
+            let mut assignment = vec![false; cnf.num_vars];
+            // Re-encode to discover internal variable semantics: redo
+            // the encoding symbolically is complex; instead rely on the
+            // fact that assignments of net vars uniquely extend, and
+            // verify with a tiny brute-force over internal vars.
+            for (net_idx, &var) in enc.vars.iter().enumerate() {
+                assignment[var as usize - 1] = net_values[net_idx];
+            }
+            let net_vars: std::collections::HashSet<usize> =
+                enc.vars.iter().map(|&v| v as usize - 1).collect();
+            let internal: Vec<usize> = (0..cnf.num_vars)
+                .filter(|i| !net_vars.contains(i))
+                .collect();
+            assert!(internal.len() <= 16, "too many internal vars for test");
+            let mut satisfied = false;
+            for mask in 0..(1u64 << internal.len()) {
+                for (k, &i) in internal.iter().enumerate() {
+                    assignment[i] = mask >> k & 1 == 1;
+                }
+                if cnf.eval(&assignment) {
+                    satisfied = true;
+                    break;
+                }
+            }
+            assert!(satisfied, "no consistent extension for input {v:b}");
+        }
+    }
+
+    #[test]
+    fn c17_encoding_is_consistent() {
+        check_encoding(&c17());
+    }
+
+    #[test]
+    fn adder_encoding_is_consistent() {
+        check_encoding(&ripple_adder(3));
+    }
+
+    #[test]
+    fn parity_encoding_is_consistent() {
+        check_encoding(&parity_tree(5));
+    }
+
+    #[test]
+    fn wrong_output_value_unsatisfiable() {
+        // Force the c17 output variable to the wrong value and check no
+        // assignment satisfies the formula for a fixed input.
+        let net = c17();
+        let mut cnf = Cnf::new(0);
+        let enc = tseitin_encode(&net, &mut cnf);
+        let inputs = [false, true, false, true, true];
+        let sim = net.simulate(&inputs);
+        // Pin the inputs.
+        for (i, &b) in inputs.iter().enumerate() {
+            let v = enc.vars[i];
+            cnf.add_clause(vec![if b { v } else { -v }]);
+        }
+        // Pin output 0 to the WRONG value.
+        let ov = enc.output_vars(&net)[0];
+        cnf.add_clause(vec![if sim[0] { -ov } else { ov }]);
+        // Brute force: no assignment satisfies.
+        let n = cnf.num_vars;
+        assert!(n <= 20);
+        let mut any = false;
+        for mask in 0..(1u64 << n) {
+            let assignment: Vec<bool> = (0..n).map(|i| mask >> i & 1 == 1).collect();
+            if cnf.eval(&assignment) {
+                any = true;
+                break;
+            }
+        }
+        assert!(!any, "pinning the wrong output must be UNSAT");
+    }
+
+    #[test]
+    fn fresh_vars_are_sequential() {
+        let mut cnf = Cnf::new(0);
+        assert_eq!(cnf.fresh_var(), 1);
+        assert_eq!(cnf.fresh_var(), 2);
+        assert_eq!(cnf.num_vars, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn clause_var_out_of_range_panics() {
+        let mut cnf = Cnf::new(1);
+        cnf.add_clause(vec![2]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Challenge encodings and the arbiter feature transform Φ.
+//!
+//! The additive delay model of an arbiter chain is linear not in the raw
+//! challenge bits but in the *parity features*
+//! `Φ_i(c) = Π_{j=i}^{n-1} (1 − 2·c_j)` (with `Φ_n = 1`): the delay
+//! difference at the arbiter is `Δ(c) = w·Φ(c)` for an instance-specific
+//! weight vector `w ∈ R^{n+1}`. This is the change of variables that
+//! makes an Arbiter PUF a linear threshold function (paper, Section
+//! III-A, after \[6\], \[8\]).
+
+use mlam_boolean::BitVec;
+use rand::Rng;
+
+/// Computes the arbiter parity-feature vector `Φ(c) ∈ {−1,+1}^{n+1}`.
+///
+/// `Φ_i = Π_{j≥i} (1−2c_j)` for `i = 0..n`, and the constant feature
+/// `Φ_n = 1`. Computed right-to-left in `O(n)`.
+///
+/// # Example
+///
+/// ```
+/// use mlam_boolean::BitVec;
+/// use mlam_puf::phi_transform;
+///
+/// let c = BitVec::from_bools(&[false, true, false]);
+/// // suffix parities: bits (0,1,0) -> (1-2c) = (+1,-1,+1)
+/// // phi_0 = +1*-1*+1 = -1, phi_1 = -1*+1 = -1, phi_2 = +1, phi_3 = 1
+/// assert_eq!(phi_transform(&c), vec![-1.0, -1.0, 1.0, 1.0]);
+/// ```
+pub fn phi_transform(c: &BitVec) -> Vec<f64> {
+    let n = c.len();
+    let mut phi = vec![1.0; n + 1];
+    let mut acc = 1.0;
+    for i in (0..n).rev() {
+        acc *= if c.get(i) { -1.0 } else { 1.0 };
+        phi[i] = acc;
+    }
+    phi
+}
+
+/// Inverse of [`phi_transform`]: recovers the challenge from its feature
+/// vector.
+///
+/// Useful when reasoning about learned weight vectors: a hypothesis
+/// linear in Φ-space corresponds to a unique Boolean function of `c`.
+///
+/// # Panics
+///
+/// Panics if `phi` is empty, its entries are not ±1, or the constant
+/// feature is not `+1`.
+pub fn phi_inverse(phi: &[f64]) -> BitVec {
+    assert!(!phi.is_empty(), "phi vector must be non-empty");
+    let n = phi.len() - 1;
+    assert_eq!(phi[n], 1.0, "constant feature must be +1");
+    let mut c = BitVec::zeros(n);
+    for i in 0..n {
+        let ratio = phi[i] / phi[i + 1];
+        assert!(
+            (ratio - 1.0).abs() < 1e-9 || (ratio + 1.0).abs() < 1e-9,
+            "phi entries must be ±1"
+        );
+        c.set(i, ratio < 0.0);
+    }
+    c
+}
+
+/// Draws `count` uniformly random challenges of `n` bits.
+pub fn random_challenges<R: Rng + ?Sized>(n: usize, count: usize, rng: &mut R) -> Vec<BitVec> {
+    (0..count).map(|_| BitVec::random(n, rng)).collect()
+}
+
+/// Draws `count` challenges with per-bit bias `p` (probability of a 1).
+///
+/// Used by the distribution-shift ablation: training an attack on a
+/// biased product distribution while the security claim assumed uniform
+/// examples is exactly the pitfall of Section III.
+pub fn biased_challenges<R: Rng + ?Sized>(
+    n: usize,
+    p: f64,
+    count: usize,
+    rng: &mut R,
+) -> Vec<BitVec> {
+    (0..count)
+        .map(|_| BitVec::random_biased(n, p, rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn phi_of_zero_challenge_is_all_ones() {
+        let c = BitVec::zeros(8);
+        assert_eq!(phi_transform(&c), vec![1.0; 9]);
+    }
+
+    #[test]
+    fn phi_last_feature_is_constant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let c = BitVec::random(16, &mut rng);
+            let phi = phi_transform(&c);
+            assert_eq!(phi.len(), 17);
+            assert_eq!(phi[16], 1.0);
+            assert!(phi.iter().all(|&v| v == 1.0 || v == -1.0));
+        }
+    }
+
+    #[test]
+    fn phi_entries_are_suffix_parities() {
+        let c = BitVec::from_bools(&[true, true, false, true]);
+        let phi = phi_transform(&c);
+        // Suffix ones-counts: [3,2,1,1] -> parities [-1,+1,-1,-1].
+        assert_eq!(phi, vec![-1.0, 1.0, -1.0, -1.0, 1.0]);
+    }
+
+    #[test]
+    fn phi_round_trip() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let c = BitVec::random(24, &mut rng);
+            assert_eq!(phi_inverse(&phi_transform(&c)), c);
+        }
+    }
+
+    #[test]
+    fn single_bit_flip_changes_prefix_of_phi() {
+        // Flipping challenge bit i negates phi_0..phi_i and leaves the
+        // rest unchanged — the structural reason a single stage affects
+        // all upstream path segments.
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = BitVec::random(12, &mut rng);
+        let phi = phi_transform(&c);
+        let c2 = c.with_flipped(5);
+        let phi2 = phi_transform(&c2);
+        for i in 0..=5 {
+            assert_eq!(phi[i], -phi2[i], "prefix entry {i}");
+        }
+        for i in 6..=12 {
+            assert_eq!(phi[i], phi2[i], "suffix entry {i}");
+        }
+    }
+
+    #[test]
+    fn biased_challenges_have_expected_density() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let cs = biased_challenges(64, 0.3, 500, &mut rng);
+        let total_ones: u32 = cs.iter().map(|c| c.count_ones()).sum();
+        let density = total_ones as f64 / (64.0 * 500.0);
+        assert!((density - 0.3).abs() < 0.02, "density {density}");
+    }
+}

@@ -1,0 +1,223 @@
+//! XOR Arbiter PUFs with **correlated** chains — the RocknRoll
+//! construction of Ganji et al. \[17\] that the paper contrasts with the
+//! uncorrelated bound of \[9\].
+//!
+//! Section V-B: XOR Arbiter PUFs with `k ≫ ln n` chains were modeled in
+//! \[17\] at ≈75 % accuracy using the LMN algorithm, *without*
+//! contradicting the hardness results — because (1) those chains were
+//! made deliberately correlated, and (2) the examples were uniform and
+//! the learner improper. [`CorrelatedXorArbiterPuf`] manufactures such
+//! a device: all chains share a common base delay vector, plus small
+//! independent per-chain deviations controlled by `deviation`.
+//!
+//! At `deviation = 0` every chain is identical, so the XOR of an odd
+//! number of chains *is* the base chain (a single LTF — trivially
+//! learnable) and the XOR of an even number is constant. Small
+//! deviations interpolate between that degenerate case and fully
+//! independent chains, reproducing the "large k yet learnable"
+//! phenomenon.
+
+use crate::arbiter::{gaussian, ArbiterPuf};
+use crate::xor_arbiter::XorArbiterPuf;
+use crate::PufModel;
+use mlam_boolean::{BitVec, BooleanFunction};
+use rand::Rng;
+
+/// A `k`-chain XOR Arbiter PUF whose chains are correlated through a
+/// shared base delay vector.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CorrelatedXorArbiterPuf {
+    inner: XorArbiterPuf,
+    deviation: f64,
+}
+
+impl CorrelatedXorArbiterPuf {
+    /// Manufactures `k` chains of `n` stages: chain `i` has weights
+    /// `w_base + deviation · w_i` with `w_base, w_i` i.i.d. standard
+    /// normal vectors.
+    ///
+    /// `deviation = 0` gives perfectly correlated chains; large values
+    /// approach the independent chains of
+    /// [`XorArbiterPuf`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `k == 0`, or `deviation < 0`.
+    pub fn sample<R: Rng + ?Sized>(
+        n: usize,
+        k: usize,
+        deviation: f64,
+        noise_sigma: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(n > 0 && k > 0, "n and k must be positive");
+        assert!(deviation >= 0.0, "deviation must be non-negative");
+        let base: Vec<f64> = (0..=n).map(|_| gaussian(rng)).collect();
+        let chains = (0..k)
+            .map(|_| {
+                let weights: Vec<f64> = base
+                    .iter()
+                    .map(|b| b + deviation * gaussian(rng))
+                    .collect();
+                ArbiterPuf::from_weights(weights, noise_sigma)
+            })
+            .collect();
+        CorrelatedXorArbiterPuf {
+            inner: XorArbiterPuf::from_chains(chains),
+            deviation,
+        }
+    }
+
+    /// The per-chain deviation scale.
+    pub fn deviation(&self) -> f64 {
+        self.deviation
+    }
+
+    /// Number of chains.
+    pub fn num_chains(&self) -> usize {
+        self.inner.num_chains()
+    }
+
+    /// The underlying XOR composition.
+    pub fn as_xor(&self) -> &XorArbiterPuf {
+        &self.inner
+    }
+
+    /// Mean pairwise response correlation of the chains, estimated on
+    /// `samples` random challenges (in the ±1 sense: 1 = identical,
+    /// 0 = independent).
+    pub fn chain_correlation<R: Rng + ?Sized>(&self, samples: usize, rng: &mut R) -> f64 {
+        assert!(samples > 0);
+        let k = self.num_chains();
+        if k < 2 {
+            return 1.0;
+        }
+        let n = self.num_inputs();
+        let mut total = 0.0;
+        let mut pairs = 0usize;
+        let responses: Vec<Vec<f64>> = {
+            let cs: Vec<BitVec> = (0..samples).map(|_| BitVec::random(n, rng)).collect();
+            self.inner
+                .chains()
+                .iter()
+                .map(|ch| cs.iter().map(|c| ch.eval_pm(c)).collect())
+                .collect()
+        };
+        for i in 0..k {
+            for j in (i + 1)..k {
+                let dot: f64 = responses[i]
+                    .iter()
+                    .zip(&responses[j])
+                    .map(|(a, b)| a * b)
+                    .sum();
+                total += dot / samples as f64;
+                pairs += 1;
+            }
+        }
+        total / pairs as f64
+    }
+}
+
+impl BooleanFunction for CorrelatedXorArbiterPuf {
+    fn num_inputs(&self) -> usize {
+        self.inner.num_inputs()
+    }
+
+    fn eval(&self, challenge: &BitVec) -> bool {
+        self.inner.eval(challenge)
+    }
+}
+
+impl PufModel for CorrelatedXorArbiterPuf {
+    fn eval_noisy<R: Rng + ?Sized>(&self, challenge: &BitVec, rng: &mut R) -> bool {
+        self.inner.eval_noisy(challenge, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_deviation_odd_k_equals_base_chain() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let puf = CorrelatedXorArbiterPuf::sample(16, 3, 0.0, 0.0, &mut rng);
+        let base = &puf.as_xor().chains()[0];
+        for _ in 0..200 {
+            let c = BitVec::random(16, &mut rng);
+            assert_eq!(puf.eval(&c), base.eval(&c));
+        }
+        assert!((puf.chain_correlation(500, &mut rng) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_deviation_even_k_is_constant() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let puf = CorrelatedXorArbiterPuf::sample(16, 4, 0.0, 0.0, &mut rng);
+        for _ in 0..200 {
+            let c = BitVec::random(16, &mut rng);
+            assert!(!puf.eval(&c), "XOR of identical chains cancels");
+        }
+    }
+
+    #[test]
+    fn correlation_decreases_with_deviation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let tight = CorrelatedXorArbiterPuf::sample(32, 4, 0.1, 0.0, &mut rng);
+        let loose = CorrelatedXorArbiterPuf::sample(32, 4, 2.0, 0.0, &mut rng);
+        let c_tight = tight.chain_correlation(2000, &mut rng);
+        let c_loose = loose.chain_correlation(2000, &mut rng);
+        assert!(
+            c_tight > c_loose + 0.2,
+            "tight {c_tight} vs loose {c_loose}"
+        );
+        assert!(c_tight > 0.7, "{c_tight}");
+        assert!(c_loose < 0.5, "{c_loose}");
+    }
+
+    #[test]
+    fn small_deviation_keeps_large_k_learnable_by_a_single_ltf() {
+        // The RocknRoll phenomenon in miniature: k = 7 chains, nearly
+        // correlated, so sign(base-chain delay) still predicts the XOR
+        // far above chance.
+        let mut rng = StdRng::seed_from_u64(4);
+        let puf = CorrelatedXorArbiterPuf::sample(32, 7, 0.15, 0.0, &mut rng);
+        let base = puf.as_xor().chains()[0].clone();
+        let mut agree = 0usize;
+        let trials = 4000;
+        for _ in 0..trials {
+            let c = BitVec::random(32, &mut rng);
+            if puf.eval(&c) == base.eval(&c) {
+                agree += 1;
+            }
+        }
+        let acc = agree as f64 / trials as f64;
+        assert!(acc > 0.6, "base chain predicts only {acc}");
+
+        // With independent chains (huge deviation) the same predictor
+        // collapses to chance.
+        let indep = CorrelatedXorArbiterPuf::sample(32, 7, 10.0, 0.0, &mut rng);
+        let base = indep.as_xor().chains()[0].clone();
+        let mut agree = 0usize;
+        for _ in 0..trials {
+            let c = BitVec::random(32, &mut rng);
+            if indep.eval(&c) == base.eval(&c) {
+                agree += 1;
+            }
+        }
+        let acc_indep = agree as f64 / trials as f64;
+        assert!(acc_indep < 0.6, "independent chains: {acc_indep}");
+    }
+
+    #[test]
+    fn noisy_evaluation_supported() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let puf = CorrelatedXorArbiterPuf::sample(16, 3, 0.2, 0.3, &mut rng);
+        let c = BitVec::random(16, &mut rng);
+        let _ = puf.eval_noisy(&c, &mut rng);
+        assert_eq!(puf.num_chains(), 3);
+        assert_eq!(puf.deviation(), 0.2);
+    }
+}

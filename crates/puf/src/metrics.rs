@@ -1,0 +1,156 @@
+//! Standard PUF quality metrics: reliability, uniqueness, uniformity.
+//!
+//! These are the figures of merit hardware papers report for silicon;
+//! the workspace uses them to sanity-check that the simulators behave
+//! like plausible devices (balanced, reliable at low noise, unique
+//! across instances).
+
+use crate::PufModel;
+use mlam_boolean::BitVec;
+use rand::Rng;
+
+/// Estimated reliability: the average agreement of repeated noisy
+/// evaluations with the majority response, over `challenges` random
+/// challenges × `repeats` evaluations. 1.0 = perfectly stable.
+///
+/// # Panics
+///
+/// Panics if `challenges == 0` or `repeats == 0`.
+pub fn reliability<P: PufModel, R: Rng + ?Sized>(
+    puf: &P,
+    challenges: usize,
+    repeats: usize,
+    rng: &mut R,
+) -> f64 {
+    assert!(challenges > 0 && repeats > 0);
+    let n = puf.challenge_bits();
+    let mut total = 0.0;
+    for _ in 0..challenges {
+        let c = BitVec::random(n, rng);
+        let ones = (0..repeats).filter(|_| puf.eval_noisy(&c, rng)).count();
+        let majority = ones.max(repeats - ones);
+        total += majority as f64 / repeats as f64;
+    }
+    total / challenges as f64
+}
+
+/// Estimated uniformity: fraction of 1-responses over random challenges.
+/// Ideal is 0.5.
+pub fn uniformity<P: PufModel, R: Rng + ?Sized>(
+    puf: &P,
+    challenges: usize,
+    rng: &mut R,
+) -> f64 {
+    assert!(challenges > 0);
+    let n = puf.challenge_bits();
+    let ones = (0..challenges)
+        .filter(|_| puf.eval(&BitVec::random(n, rng)))
+        .count();
+    ones as f64 / challenges as f64
+}
+
+/// Estimated uniqueness: mean pairwise fractional Hamming distance of
+/// the response vectors of several instances over a common challenge
+/// set. Ideal is 0.5.
+///
+/// # Panics
+///
+/// Panics if fewer than two PUFs are given, challenge lengths differ,
+/// or `challenges == 0`.
+pub fn uniqueness<P: PufModel, R: Rng + ?Sized>(
+    pufs: &[P],
+    challenges: usize,
+    rng: &mut R,
+) -> f64 {
+    assert!(pufs.len() >= 2, "uniqueness needs at least two instances");
+    assert!(challenges > 0);
+    let n = pufs[0].challenge_bits();
+    assert!(
+        pufs.iter().all(|p| p.challenge_bits() == n),
+        "all instances must share the challenge length"
+    );
+    let cs: Vec<BitVec> = (0..challenges).map(|_| BitVec::random(n, rng)).collect();
+    let responses: Vec<Vec<bool>> = pufs
+        .iter()
+        .map(|p| cs.iter().map(|c| p.eval(c)).collect())
+        .collect();
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..responses.len() {
+        for j in i + 1..responses.len() {
+            let dist = responses[i]
+                .iter()
+                .zip(&responses[j])
+                .filter(|(a, b)| a != b)
+                .count();
+            total += dist as f64 / challenges as f64;
+            pairs += 1;
+        }
+    }
+    total / pairs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbiter::ArbiterPuf;
+    use crate::bistable_ring::{BistableRingPuf, BrPufConfig};
+    use crate::xor_arbiter::XorArbiterPuf;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn noiseless_device_is_fully_reliable() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let puf = ArbiterPuf::sample(32, 0.0, &mut rng);
+        assert_eq!(reliability(&puf, 50, 7, &mut rng), 1.0);
+    }
+
+    #[test]
+    fn reliability_degrades_with_noise() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let quiet = ArbiterPuf::sample(64, 0.05, &mut rng);
+        let loud = ArbiterPuf::from_weights(quiet.weights().to_vec(), 2.0);
+        let r_quiet = reliability(&quiet, 200, 9, &mut rng);
+        let r_loud = reliability(&loud, 200, 9, &mut rng);
+        assert!(r_quiet > r_loud, "{r_quiet} !> {r_loud}");
+        assert!(r_quiet > 0.95);
+    }
+
+    #[test]
+    fn uniformity_near_half_for_all_models() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = ArbiterPuf::sample(64, 0.0, &mut rng);
+        let x = XorArbiterPuf::sample(64, 4, 0.0, &mut rng);
+        let b = BistableRingPuf::sample(64, BrPufConfig::calibrated(64), &mut rng);
+        assert!((uniformity(&a, 3000, &mut rng) - 0.5).abs() < 0.15);
+        assert!((uniformity(&x, 3000, &mut rng) - 0.5).abs() < 0.1);
+        assert!((uniformity(&b, 3000, &mut rng) - 0.5).abs() < 0.2);
+    }
+
+    #[test]
+    fn uniqueness_of_independent_instances_near_half() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pufs: Vec<XorArbiterPuf> = (0..4)
+            .map(|_| XorArbiterPuf::sample(64, 2, 0.0, &mut rng))
+            .collect();
+        let u = uniqueness(&pufs, 1000, &mut rng);
+        assert!((u - 0.5).abs() < 0.1, "uniqueness {u}");
+    }
+
+    #[test]
+    fn uniqueness_of_identical_instances_is_zero() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let puf = ArbiterPuf::sample(32, 0.0, &mut rng);
+        let twins = vec![puf.clone(), puf];
+        assert_eq!(uniqueness(&twins, 500, &mut rng), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two instances")]
+    fn uniqueness_needs_two() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let puf = ArbiterPuf::sample(8, 0.0, &mut rng);
+        uniqueness(&[puf], 10, &mut rng);
+    }
+}

@@ -1,0 +1,39 @@
+//! A conflict-driven clause-learning (CDCL) SAT solver.
+//!
+//! The SAT attack on logic locking (Subramanyan et al., referenced via
+//! the paper's discussion of \[4\], \[5\]) needs an incremental SAT solver;
+//! none being available offline, this crate implements one from
+//! scratch:
+//!
+//! - two-watched-literal propagation,
+//! - first-UIP conflict analysis with clause learning,
+//! - VSIDS-style activity with exponential decay,
+//! - non-chronological backjumping,
+//! - Luby restarts and phase saving,
+//! - assumption-based incremental solving
+//!   ([`Solver::solve_with_assumptions`]), the primitive the
+//!   oracle-guided attack loop relies on.
+//!
+//! # Example
+//!
+//! ```
+//! use mlam_sat::{Lit, SatResult, Solver};
+//!
+//! let mut solver = Solver::new();
+//! let a = solver.new_var();
+//! let b = solver.new_var();
+//! solver.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+//! solver.add_clause(&[Lit::neg(a)]);
+//! match solver.solve() {
+//!     SatResult::Sat(model) => {
+//!         assert!(!model.value(a));
+//!         assert!(model.value(b));
+//!     }
+//!     SatResult::Unsat => unreachable!(),
+//! }
+//! ```
+
+pub mod dimacs;
+mod solver;
+
+pub use solver::{Lit, Model, SatResult, Solver, SolverStats, Var};

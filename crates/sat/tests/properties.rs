@@ -1,0 +1,111 @@
+//! Property-based tests of the CDCL solver against brute force.
+
+use mlam_sat::{Lit, SatResult, Solver};
+use proptest::prelude::*;
+
+/// Strategy: a random CNF over `n` variables with `m` clauses of 1–4
+/// literals each.
+fn cnf_strategy() -> impl Strategy<Value = (usize, Vec<Vec<i32>>)> {
+    (2usize..=9).prop_flat_map(|n| {
+        let clause = prop::collection::vec(
+            (1..=n as i32, any::<bool>()).prop_map(|(v, neg)| if neg { -v } else { v }),
+            1..=4,
+        );
+        let clauses = prop::collection::vec(clause, 1..=n * 4);
+        (Just(n), clauses)
+    })
+}
+
+fn brute_force_sat(num_vars: usize, clauses: &[Vec<i32>]) -> bool {
+    'outer: for mask in 0u64..(1 << num_vars) {
+        for clause in clauses {
+            let sat = clause.iter().any(|&l| {
+                let v = (l.unsigned_abs() - 1) as usize;
+                let val = mask >> v & 1 == 1;
+                if l > 0 {
+                    val
+                } else {
+                    !val
+                }
+            });
+            if !sat {
+                continue 'outer;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+fn solve(num_vars: usize, clauses: &[Vec<i32>]) -> SatResult {
+    let mut s = Solver::new();
+    let vars = s.new_vars(num_vars);
+    for clause in clauses {
+        let lits: Vec<Lit> = clause
+            .iter()
+            .map(|&l| Lit::new(vars[(l.unsigned_abs() - 1) as usize], l < 0))
+            .collect();
+        s.add_clause(&lits);
+    }
+    s.solve()
+}
+
+proptest! {
+    /// CDCL agrees with brute force on satisfiability, and every model
+    /// it returns actually satisfies the formula.
+    #[test]
+    fn cdcl_matches_brute_force((n, clauses) in cnf_strategy()) {
+        let expected = brute_force_sat(n, &clauses);
+        match solve(n, &clauses) {
+            SatResult::Sat(model) => {
+                prop_assert!(expected, "solver said SAT, brute force says UNSAT");
+                for clause in &clauses {
+                    let ok = clause.iter().any(|&l| {
+                        let val = model.values()[(l.unsigned_abs() - 1) as usize];
+                        if l > 0 { val } else { !val }
+                    });
+                    prop_assert!(ok, "model violates {clause:?}");
+                }
+            }
+            SatResult::Unsat => prop_assert!(!expected, "solver said UNSAT, brute force says SAT"),
+        }
+    }
+
+    /// Solving under assumptions never corrupts the instance: the
+    /// unassumed instance's satisfiability is unchanged afterwards.
+    #[test]
+    fn assumptions_are_transient((n, clauses) in cnf_strategy(), a in 1usize..=4, neg in any::<bool>()) {
+        let expected = brute_force_sat(n, &clauses);
+        let mut s = Solver::new();
+        let vars = s.new_vars(n);
+        for clause in &clauses {
+            let lits: Vec<Lit> = clause
+                .iter()
+                .map(|&l| Lit::new(vars[(l.unsigned_abs() - 1) as usize], l < 0))
+                .collect();
+            s.add_clause(&lits);
+        }
+        let assumption = Lit::new(vars[(a - 1).min(n - 1)], neg);
+        let _ = s.solve_with_assumptions(&[assumption]);
+        prop_assert_eq!(s.solve().is_sat(), expected);
+    }
+
+    /// An assumption-satisfying model respects the assumption.
+    #[test]
+    fn assumption_holds_in_model((n, clauses) in cnf_strategy(), idx in 0usize..9, neg in any::<bool>()) {
+        let mut s = Solver::new();
+        let vars = s.new_vars(n);
+        for clause in &clauses {
+            let lits: Vec<Lit> = clause
+                .iter()
+                .map(|&l| Lit::new(vars[(l.unsigned_abs() - 1) as usize], l < 0))
+                .collect();
+            s.add_clause(&lits);
+        }
+        let v = vars[idx % n];
+        let assumption = Lit::new(v, neg);
+        if let SatResult::Sat(model) = s.solve_with_assumptions(&[assumption]) {
+            prop_assert_eq!(model.value(v), !neg);
+        }
+    }
+}

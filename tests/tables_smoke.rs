@@ -1,0 +1,92 @@
+//! Smoke runs of every experiment driver at reduced scale: each table
+//! of the paper regenerates, renders and exhibits its qualitative
+//! shape.
+
+use mlam::experiments::ablations::{run_ablations, AblationParams};
+use mlam::experiments::corollary2::{run_corollary2, Corollary2Params};
+use mlam::experiments::locking::{run_locking, LockingParams};
+use mlam::experiments::sequential::{run_sequential, SequentialParams};
+use mlam::experiments::{
+    run_table1, run_table2, run_table3, Table1Params, Table2Params, Table3Params,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn table1_regenerates_with_correct_shape() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let result = run_table1(&Table1Params::quick(), &mut rng);
+    // Shape: the VC (uniform) bound undercuts the Perceptron
+    // (arbitrary-distribution) bound once k >= 2, and the LMN bound
+    // dwarfs everything.
+    for b in &result.bounds {
+        if b.k >= 2 {
+            assert!(b.general_bound < b.perceptron_bound);
+        }
+        assert!(b.lmn_bound_log10 > (b.general_bound.log10()));
+    }
+    assert!(result.to_table().to_string().contains("Cor.1"));
+}
+
+#[test]
+fn table2_regenerates_with_plateau() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let result = run_table2(&Table2Params::quick(), &mut rng);
+    // Shape: accuracy is far above chance but bounded away from 100 %,
+    // and quadrupling the CRPs moves it only marginally.
+    for row in &result.accuracy {
+        for &acc in row {
+            assert!(acc > 0.55 && acc < 0.985, "{acc}");
+        }
+    }
+    for gain in result.plateau_gains() {
+        assert!(gain.abs() < 0.12, "plateau gain {gain}");
+    }
+}
+
+#[test]
+fn table3_regenerates_with_growing_distance() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let result = run_table3(&Table3Params::quick(), &mut rng);
+    let d: Vec<f64> = result.rows.iter().map(|r| r.distance).collect();
+    assert!(d[0] > 0.08, "n=16 distance {}", d[0]);
+    assert!(d[2] > d[0], "distance must grow with n: {d:?}");
+    assert!(result.rows[2].far_from_halfspace);
+}
+
+#[test]
+fn corollary2_regenerates_exactly() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let result = run_corollary2(&Corollary2Params::quick(), &mut rng);
+    assert!(result.rows.iter().all(|r| r.exact));
+}
+
+#[test]
+fn locking_comparison_regenerates() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let result = run_locking(&LockingParams::quick(), &mut rng);
+    for r in &result.rows {
+        assert_eq!(r.sat_success, 1.0);
+        assert!(r.appsat_accuracy > 0.9 && r.pac_accuracy > 0.9);
+    }
+}
+
+#[test]
+fn sequential_sweep_regenerates() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let result = run_sequential(&SequentialParams::quick(), &mut rng);
+    for r in &result.rows {
+        assert_eq!(r.exact_model, 1.0);
+    }
+}
+
+#[test]
+fn ablations_regenerate() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let result = run_ablations(&AblationParams::quick(), &mut rng);
+    assert_eq!(result.to_tables().len(), 4);
+    // Nonlinearity dial works.
+    let first = result.nonlinearity.first().expect("points").1;
+    let last = result.nonlinearity.last().expect("points").1;
+    assert!(first > last);
+}

@@ -27,7 +27,11 @@ fn bench_spectral(c: &mut Criterion) {
     c.bench_function("spectral/km_theta015_n12", |b| {
         b.iter(|| {
             let oracle = FunctionOracle::uniform(&puf);
-            black_box(km_learn(&oracle, KmConfig::new(0.15), &mut rng).hypothesis.len())
+            black_box(
+                km_learn(&oracle, KmConfig::new(0.15), &mut rng)
+                    .hypothesis
+                    .len(),
+            )
         })
     });
 }

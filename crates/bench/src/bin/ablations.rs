@@ -1,21 +1,28 @@
 //! Regenerates the four design-choice ablations of DESIGN.md.
 //!
-//! Usage: `cargo run --release -p mlam-bench --bin ablations [--quick]`
+//! Usage: `cargo run --release -p mlam-bench --bin ablations [--quick] [--json <dir>]`
 
 use mlam::experiments::ablations::{run_ablations, AblationParams};
+use mlam_bench::{parse_cli, Session};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let params = if quick {
+    let options = parse_cli(std::env::args());
+    let params = if options.quick {
         AblationParams::quick()
     } else {
         AblationParams::paper()
     };
-    let mut rng = StdRng::seed_from_u64(0xDA7E_2020);
-    let result = run_ablations(&params, &mut rng);
+    let mut session = Session::start("ablations", &options);
+    let mut rng = StdRng::seed_from_u64(session.seed());
+    let result = session.run(
+        "ablations",
+        || run_ablations(&params, &mut rng),
+        |r| r.to_tables(),
+    );
     for table in result.to_tables() {
         println!("{table}");
     }
+    session.finish();
 }

@@ -1,14 +1,22 @@
 //! Regenerates the AC0 uniform-learnability demonstration (Section III).
 //!
-//! Usage: `cargo run --release -p mlam-bench --bin ac0 [--quick]`
+//! Usage: `cargo run --release -p mlam-bench --bin ac0 [--quick] [--json <dir>]`
 
 use mlam::experiments::ac0::{run_ac0, Ac0Params};
+use mlam_bench::{parse_cli, Session};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let params = if quick { Ac0Params::quick() } else { Ac0Params::paper() };
-    let mut rng = StdRng::seed_from_u64(0xDA7E_2020);
-    println!("{}", run_ac0(&params, &mut rng).to_table());
+    let options = parse_cli(std::env::args());
+    let params = if options.quick {
+        Ac0Params::quick()
+    } else {
+        Ac0Params::paper()
+    };
+    let mut session = Session::start("ac0", &options);
+    let mut rng = StdRng::seed_from_u64(session.seed());
+    let result = session.run("ac0", || run_ac0(&params, &mut rng), |r| vec![r.to_table()]);
+    println!("{}", result.to_table());
+    session.finish();
 }

@@ -1,20 +1,27 @@
 //! Regenerates the Corollary 2 demonstration (exact learning with
 //! membership queries, poly(n) query growth).
 //!
-//! Usage: `cargo run --release -p mlam-bench --bin corollary2 [--quick]`
+//! Usage: `cargo run --release -p mlam-bench --bin corollary2 [--quick] [--json <dir>]`
 
 use mlam::experiments::corollary2::{run_corollary2, Corollary2Params};
+use mlam_bench::{parse_cli, Session};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let params = if quick {
+    let options = parse_cli(std::env::args());
+    let params = if options.quick {
         Corollary2Params::quick()
     } else {
         Corollary2Params::paper()
     };
-    let mut rng = StdRng::seed_from_u64(0xDA7E_2020);
-    let result = run_corollary2(&params, &mut rng);
+    let mut session = Session::start("corollary2", &options);
+    let mut rng = StdRng::seed_from_u64(session.seed());
+    let result = session.run(
+        "corollary2",
+        || run_corollary2(&params, &mut rng),
+        |r| vec![r.to_table()],
+    );
     println!("{}", result.to_table());
+    session.finish();
 }

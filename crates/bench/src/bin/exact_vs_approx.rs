@@ -1,23 +1,30 @@
 //! Regenerates the exact-vs-approximate sweep on SARLock point-function
 //! locking (Section IV-A).
 //!
-//! Usage: `cargo run --release -p mlam-bench --bin exact_vs_approx [--quick]`
+//! Usage: `cargo run --release -p mlam-bench --bin exact_vs_approx [--quick] [--json <dir>]`
 
 use mlam::experiments::exact_vs_approx::{run_exact_vs_approx, ExactVsApproxParams};
+use mlam_bench::{parse_cli, Session};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let params = if quick {
+    let options = parse_cli(std::env::args());
+    let params = if options.quick {
         ExactVsApproxParams::quick()
     } else {
         ExactVsApproxParams::paper()
     };
-    let mut rng = StdRng::seed_from_u64(0xDA7E_2020);
-    let result = run_exact_vs_approx(&params, &mut rng);
+    let mut session = Session::start("exact_vs_approx", &options);
+    let mut rng = StdRng::seed_from_u64(session.seed());
+    let result = session.run(
+        "exact_vs_approx",
+        || run_exact_vs_approx(&params, &mut rng),
+        |r| vec![r.to_table()],
+    );
     println!("{}", result.to_table());
     if let Some(p) = &result.detected_pitfall {
         println!("detected pitfall: {p}");
     }
+    session.finish();
 }

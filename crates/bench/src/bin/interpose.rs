@@ -1,20 +1,27 @@
 //! Regenerates the Interpose PUF representation experiment.
 //!
-//! Usage: `cargo run --release -p mlam-bench --bin interpose [--quick]`
+//! Usage: `cargo run --release -p mlam-bench --bin interpose [--quick] [--json <dir>]`
 
 use mlam::experiments::interpose::{run_interpose, InterposeParams};
+use mlam_bench::{parse_cli, Session};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let params = if quick {
+    let options = parse_cli(std::env::args());
+    let params = if options.quick {
         InterposeParams::quick()
     } else {
         InterposeParams::paper()
     };
-    let mut rng = StdRng::seed_from_u64(0xDA7E_2020);
-    let result = run_interpose(&params, &mut rng);
+    let mut session = Session::start("interpose", &options);
+    let mut rng = StdRng::seed_from_u64(session.seed());
+    let result = session.run(
+        "interpose",
+        || run_interpose(&params, &mut rng),
+        |r| vec![r.to_table()],
+    );
     println!("{}", result.to_table());
     println!("CMA-ES fitness evaluations: {}", result.evaluations);
+    session.finish();
 }

@@ -1,20 +1,27 @@
 //! Regenerates the lockdown-defense sweep (reference \[10\]): attack
 //! accuracy as a function of the interface-enforced CRP budget.
 //!
-//! Usage: `cargo run --release -p mlam-bench --bin lockdown [--quick]`
+//! Usage: `cargo run --release -p mlam-bench --bin lockdown [--quick] [--json <dir>]`
 
 use mlam::experiments::lockdown::{run_lockdown, LockdownParams};
+use mlam_bench::{parse_cli, Session};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let params = if quick {
+    let options = parse_cli(std::env::args());
+    let params = if options.quick {
         LockdownParams::quick()
     } else {
         LockdownParams::paper()
     };
-    let mut rng = StdRng::seed_from_u64(0xDA7E_2020);
-    let result = run_lockdown(&params, &mut rng);
+    let mut session = Session::start("lockdown", &options);
+    let mut rng = StdRng::seed_from_u64(session.seed());
+    let result = session.run(
+        "lockdown",
+        || run_lockdown(&params, &mut rng),
+        |r| vec![r.to_table()],
+    );
     println!("{}", result.to_table());
+    session.finish();
 }

@@ -1,20 +1,27 @@
 //! Regenerates the logic-locking attack comparison (SAT vs AppSAT vs
 //! random-example PAC attack).
 //!
-//! Usage: `cargo run --release -p mlam-bench --bin locking [--quick]`
+//! Usage: `cargo run --release -p mlam-bench --bin locking [--quick] [--json <dir>]`
 
 use mlam::experiments::locking::{run_locking, LockingParams};
+use mlam_bench::{parse_cli, Session};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let params = if quick {
+    let options = parse_cli(std::env::args());
+    let params = if options.quick {
         LockingParams::quick()
     } else {
         LockingParams::paper()
     };
-    let mut rng = StdRng::seed_from_u64(0xDA7E_2020);
-    let result = run_locking(&params, &mut rng);
+    let mut session = Session::start("locking", &options);
+    let mut rng = StdRng::seed_from_u64(session.seed());
+    let result = session.run(
+        "locking",
+        || run_locking(&params, &mut rng),
+        |r| vec![r.to_table()],
+    );
     println!("{}", result.to_table());
+    session.finish();
 }

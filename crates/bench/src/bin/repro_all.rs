@@ -1,68 +1,18 @@
 //! Runs every experiment in sequence and prints all tables — the
 //! one-shot reproduction entry point referenced by EXPERIMENTS.md.
 //!
-//! Usage: `cargo run --release -p mlam-bench --bin repro_all [--quick]`
+//! Usage: `cargo run --release -p mlam-bench --bin repro_all
+//! [--quick] [--json <dir>]`
+//!
+//! With `--json <dir>`, also writes `manifest.json`, `metrics.jsonl`,
+//! `events.jsonl` and one `<experiment>.json` per experiment; stdout
+//! is unchanged.
 
-use mlam::experiments::ablations::{run_ablations, AblationParams};
-use mlam::experiments::ac0::{run_ac0, Ac0Params};
-use mlam::experiments::spectral::{run_spectral, SpectralParams};
-use mlam::experiments::corollary2::{run_corollary2, Corollary2Params};
-use mlam::experiments::exact_vs_approx::{run_exact_vs_approx, ExactVsApproxParams};
-use mlam::experiments::interpose::{run_interpose, InterposeParams};
-use mlam::experiments::lockdown::{run_lockdown, LockdownParams};
-use mlam::experiments::locking::{run_locking, LockingParams};
-use mlam::experiments::rocknroll::{run_rocknroll, RocknRollParams};
-use mlam::experiments::sequential::{run_sequential, SequentialParams};
-use mlam::experiments::{
-    run_table1, run_table2, run_table3, Table1Params, Table2Params, Table3Params,
-};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mlam_bench::{parse_cli, run_all, Session};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let mut rng = StdRng::seed_from_u64(0xDA7E_2020);
-
-    let t1 = if quick { Table1Params::quick() } else { Table1Params::paper() };
-    let r1 = run_table1(&t1, &mut rng);
-    println!("{}", r1.to_table());
-    println!("{}", r1.empirical_table());
-
-    let t2 = if quick { Table2Params::quick() } else { Table2Params::paper() };
-    println!("{}", run_table2(&t2, &mut rng).to_table());
-
-    let t3 = if quick { Table3Params::quick() } else { Table3Params::paper() };
-    println!("{}", run_table3(&t3, &mut rng).to_table());
-
-    let c2 = if quick { Corollary2Params::quick() } else { Corollary2Params::paper() };
-    println!("{}", run_corollary2(&c2, &mut rng).to_table());
-
-    let lk = if quick { LockingParams::quick() } else { LockingParams::paper() };
-    println!("{}", run_locking(&lk, &mut rng).to_table());
-
-    let sq = if quick { SequentialParams::quick() } else { SequentialParams::paper() };
-    println!("{}", run_sequential(&sq, &mut rng).to_table());
-
-    let ea = if quick { ExactVsApproxParams::quick() } else { ExactVsApproxParams::paper() };
-    println!("{}", run_exact_vs_approx(&ea, &mut rng).to_table());
-
-    let a0 = if quick { Ac0Params::quick() } else { Ac0Params::paper() };
-    println!("{}", run_ac0(&a0, &mut rng).to_table());
-
-    let sp = if quick { SpectralParams::quick() } else { SpectralParams::paper() };
-    println!("{}", run_spectral(&sp, &mut rng).to_table());
-
-    let ip = if quick { InterposeParams::quick() } else { InterposeParams::paper() };
-    println!("{}", run_interpose(&ip, &mut rng).to_table());
-
-    let rr = if quick { RocknRollParams::quick() } else { RocknRollParams::paper() };
-    println!("{}", run_rocknroll(&rr, &mut rng).to_table());
-
-    let ld = if quick { LockdownParams::quick() } else { LockdownParams::paper() };
-    println!("{}", run_lockdown(&ld, &mut rng).to_table());
-
-    let ab = if quick { AblationParams::quick() } else { AblationParams::paper() };
-    for table in run_ablations(&ab, &mut rng).to_tables() {
-        println!("{table}");
-    }
+    let options = parse_cli(std::env::args());
+    let mut session = Session::start("repro_all", &options);
+    run_all(&mut session);
+    session.finish();
 }

@@ -2,24 +2,31 @@
 //! V-B): many-chain XOR APUFs that are learnable because — and only
 //! because — their chains are correlated.
 //!
-//! Usage: `cargo run --release -p mlam-bench --bin rocknroll [--quick]`
+//! Usage: `cargo run --release -p mlam-bench --bin rocknroll [--quick] [--json <dir>]`
 
 use mlam::experiments::rocknroll::{run_rocknroll, RocknRollParams};
+use mlam_bench::{parse_cli, Session};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let params = if quick {
+    let options = parse_cli(std::env::args());
+    let params = if options.quick {
         RocknRollParams::quick()
     } else {
         RocknRollParams::paper()
     };
-    let mut rng = StdRng::seed_from_u64(0xDA7E_2020);
-    let result = run_rocknroll(&params, &mut rng);
+    let mut session = Session::start("rocknroll", &options);
+    let mut rng = StdRng::seed_from_u64(session.seed());
+    let result = session.run(
+        "rocknroll",
+        || run_rocknroll(&params, &mut rng),
+        |r| vec![r.to_table()],
+    );
     println!("{}", result.to_table());
     println!(
         "comparable with the distribution-free hardness claim of [9]? {}",
         result.comparable_with_hardness_claim
     );
+    session.finish();
 }

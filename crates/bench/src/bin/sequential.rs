@@ -1,20 +1,27 @@
 //! Regenerates the sequential-locking (L* on HARPOON-obfuscated FSM)
 //! sweep.
 //!
-//! Usage: `cargo run --release -p mlam-bench --bin sequential [--quick]`
+//! Usage: `cargo run --release -p mlam-bench --bin sequential [--quick] [--json <dir>]`
 
 use mlam::experiments::sequential::{run_sequential, SequentialParams};
+use mlam_bench::{parse_cli, Session};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let params = if quick {
+    let options = parse_cli(std::env::args());
+    let params = if options.quick {
         SequentialParams::quick()
     } else {
         SequentialParams::paper()
     };
-    let mut rng = StdRng::seed_from_u64(0xDA7E_2020);
-    let result = run_sequential(&params, &mut rng);
+    let mut session = Session::start("sequential", &options);
+    let mut rng = StdRng::seed_from_u64(session.seed());
+    let result = session.run(
+        "sequential",
+        || run_sequential(&params, &mut rng),
+        |r| vec![r.to_table()],
+    );
     println!("{}", result.to_table());
+    session.finish();
 }

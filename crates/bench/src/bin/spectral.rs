@@ -1,15 +1,27 @@
 //! Regenerates the spectral access-model comparison (LMN vs KM on one
 //! BR PUF; Section IV with representation held fixed).
 //!
-//! Usage: `cargo run --release -p mlam-bench --bin spectral [--quick]`
+//! Usage: `cargo run --release -p mlam-bench --bin spectral [--quick] [--json <dir>]`
 
 use mlam::experiments::spectral::{run_spectral, SpectralParams};
+use mlam_bench::{parse_cli, Session};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let params = if quick { SpectralParams::quick() } else { SpectralParams::paper() };
-    let mut rng = StdRng::seed_from_u64(0xDA7E_2020);
-    println!("{}", run_spectral(&params, &mut rng).to_table());
+    let options = parse_cli(std::env::args());
+    let params = if options.quick {
+        SpectralParams::quick()
+    } else {
+        SpectralParams::paper()
+    };
+    let mut session = Session::start("spectral", &options);
+    let mut rng = StdRng::seed_from_u64(session.seed());
+    let result = session.run(
+        "spectral",
+        || run_spectral(&params, &mut rng),
+        |r| vec![r.to_table()],
+    );
+    println!("{}", result.to_table());
+    session.finish();
 }

@@ -1,20 +1,32 @@
 //! Regenerates Table I (analytic bounds + empirical cross-check).
 //!
-//! Usage: `cargo run --release -p mlam-bench --bin table1 [--quick]`
+//! Usage: `cargo run --release -p mlam-bench --bin table1 [--quick] [--json <dir>]`
 
 use mlam::experiments::{run_table1, Table1Params};
+use mlam_bench::{parse_cli, Session};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let params = if quick {
+    let options = parse_cli(std::env::args());
+    let params = if options.quick {
         Table1Params::quick()
     } else {
         Table1Params::paper()
     };
-    let mut rng = StdRng::seed_from_u64(0xDA7E_2020);
-    let result = run_table1(&params, &mut rng);
+    let mut session = Session::start("table1", &options);
+    let mut rng = StdRng::seed_from_u64(session.seed());
+    let result = session.run(
+        "table1",
+        || run_table1(&params, &mut rng),
+        |r| {
+            let mut tables = vec![r.to_table()];
+            if !r.empirical.is_empty() {
+                tables.push(r.empirical_table());
+            }
+            tables
+        },
+    );
     println!("{}", result.to_table());
     if !result.empirical.is_empty() {
         println!("{}", result.empirical_table());
@@ -27,4 +39,5 @@ fn main() {
             .filter(|b| b.k >= 2)
             .all(|b| b.general_bound < b.perceptron_bound)
     );
+    session.finish();
 }

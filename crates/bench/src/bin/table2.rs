@@ -1,20 +1,26 @@
 //! Regenerates Table II (Chow-parameter LTF accuracy plateau).
 //!
-//! Usage: `cargo run --release -p mlam-bench --bin table2 [--quick]`
+//! Usage: `cargo run --release -p mlam-bench --bin table2 [--quick] [--json <dir>]`
 
 use mlam::experiments::{run_table2, Table2Params};
+use mlam_bench::{parse_cli, Session};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let params = if quick {
+    let options = parse_cli(std::env::args());
+    let params = if options.quick {
         Table2Params::quick()
     } else {
         Table2Params::paper()
     };
-    let mut rng = StdRng::seed_from_u64(0xDA7E_2020);
-    let result = run_table2(&params, &mut rng);
+    let mut session = Session::start("table2", &options);
+    let mut rng = StdRng::seed_from_u64(session.seed());
+    let result = session.run(
+        "table2",
+        || run_table2(&params, &mut rng),
+        |r| vec![r.to_table()],
+    );
     println!("{}", result.to_table());
     println!(
         "plateau gains (last budget - first budget, per n): {:?}",
@@ -24,4 +30,5 @@ fn main() {
             .map(|g| format!("{:+.2} pp", g * 100.0))
             .collect::<Vec<_>>()
     );
+    session.finish();
 }

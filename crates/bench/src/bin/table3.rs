@@ -1,19 +1,26 @@
 //! Regenerates Table III (halfspace tester on BR PUF CRPs).
 //!
-//! Usage: `cargo run --release -p mlam-bench --bin table3 [--quick]`
+//! Usage: `cargo run --release -p mlam-bench --bin table3 [--quick] [--json <dir>]`
 
 use mlam::experiments::{run_table3, Table3Params};
+use mlam_bench::{parse_cli, Session};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let params = if quick {
+    let options = parse_cli(std::env::args());
+    let params = if options.quick {
         Table3Params::quick()
     } else {
         Table3Params::paper()
     };
-    let mut rng = StdRng::seed_from_u64(0xDA7E_2020);
-    let result = run_table3(&params, &mut rng);
+    let mut session = Session::start("table3", &options);
+    let mut rng = StdRng::seed_from_u64(session.seed());
+    let result = session.run(
+        "table3",
+        || run_table3(&params, &mut rng),
+        |r| vec![r.to_table()],
+    );
     println!("{}", result.to_table());
+    session.finish();
 }

@@ -1,1 +1,427 @@
-pub(crate) const _DUMMY: () = ();
+//! Shared harness for the benchmark binaries: CLI parsing, the
+//! telemetry [`Session`] that turns experiment runs into a
+//! [`RunManifest`], and [`run_all`] — the full reproduction sequence
+//! used by `repro_all` and the integration tests.
+//!
+//! Output contract (the observability promise): everything a binary
+//! printed before telemetry existed still goes to stdout unchanged;
+//! the session only *adds* files under `--json <dir>` and stderr lines
+//! under `MLAM_LOG`.
+
+use mlam::report::Table;
+use mlam::telemetry::{self, ExperimentRecord, RunManifest};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// The fixed root seed every reproduction binary uses.
+pub const REPRO_SEED: u64 = 0xDA7E_2020;
+
+/// Workspace crates whose (shared) version is recorded in the manifest.
+const WORKSPACE_CRATES: &[&str] = &[
+    "mlam",
+    "mlam-bench",
+    "mlam-boolean",
+    "mlam-learn",
+    "mlam-locking",
+    "mlam-netlist",
+    "mlam-puf",
+    "mlam-telemetry",
+];
+
+/// Options shared by all benchmark binaries.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CliOptions {
+    /// Use the reduced `quick()` parameter sets.
+    pub quick: bool,
+    /// Write `manifest.json`, `metrics.jsonl`, `events.jsonl` and one
+    /// `<experiment>.json` per experiment into this directory.
+    pub json_dir: Option<PathBuf>,
+}
+
+/// Parses `--quick` and `--json <dir>` from an argument iterator
+/// (unrecognized arguments are ignored, as the binaries always did).
+///
+/// # Panics
+///
+/// Panics if `--json` is not followed by a directory path.
+pub fn parse_cli<I: IntoIterator<Item = String>>(args: I) -> CliOptions {
+    let mut options = CliOptions::default();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => options.quick = true,
+            "--json" => {
+                let dir = iter.next().expect("--json requires a directory argument");
+                options.json_dir = Some(PathBuf::from(dir));
+            }
+            _ => {}
+        }
+    }
+    options
+}
+
+/// One table of an experiment, in the machine-readable `--json` form.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TableJson {
+    pub title: String,
+    pub header: Vec<String>,
+    /// Rows as objects keyed by column header
+    /// ([`Table::to_json_rows`]).
+    pub rows: serde_json::Value,
+}
+
+impl TableJson {
+    fn from_table(table: &Table) -> TableJson {
+        TableJson {
+            title: table.title().to_string(),
+            header: table.header().to_vec(),
+            rows: table.to_json_rows(),
+        }
+    }
+}
+
+/// The structured result file written as `<dir>/<experiment>.json`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentJson {
+    pub name: String,
+    pub seed: u64,
+    pub quick: bool,
+    /// Wall-clock seconds spent in the driver.
+    pub seconds: f64,
+    /// Telemetry counter increments attributable to this experiment.
+    pub counters: BTreeMap<String, u64>,
+    pub tables: Vec<TableJson>,
+}
+
+/// A reproduction run in progress: wraps every experiment driver call
+/// with wall-clock timing and metric snapshots, accumulating a
+/// [`RunManifest`].
+pub struct Session {
+    manifest: RunManifest,
+    json_dir: Option<PathBuf>,
+    started: Instant,
+}
+
+impl Session {
+    /// Starts a session for the named tool. When `--json` was given,
+    /// creates the output directory and installs a
+    /// [`telemetry::JsonlSink`] for span events at `events.jsonl`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the JSON output directory cannot be created.
+    pub fn start(tool: &str, options: &CliOptions) -> Session {
+        let mut manifest = RunManifest::new(tool, REPRO_SEED, options.quick);
+        let version = env!("CARGO_PKG_VERSION");
+        for name in WORKSPACE_CRATES {
+            manifest
+                .crate_versions
+                .push((name.to_string(), version.to_string()));
+        }
+        if let Some(dir) = &options.json_dir {
+            std::fs::create_dir_all(dir)
+                .unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
+            let sink = telemetry::JsonlSink::create(dir.join("events.jsonl"))
+                .unwrap_or_else(|e| panic!("cannot open events.jsonl: {e}"));
+            telemetry::add_sink(Box::new(sink));
+        }
+        Session {
+            manifest,
+            json_dir: options.json_dir.clone(),
+            started: Instant::now(),
+        }
+    }
+
+    /// The root seed binaries should feed their RNG from.
+    pub fn seed(&self) -> u64 {
+        self.manifest.seed
+    }
+
+    /// Whether this session runs the reduced parameter sets.
+    pub fn quick(&self) -> bool {
+        self.manifest.quick
+    }
+
+    /// Runs one named experiment: times the driver, attributes counter
+    /// increments to it, records an [`ExperimentRecord`], and (under
+    /// `--json`) writes `<dir>/<name>.json` with the rendered tables.
+    /// Returns the driver's result; never writes to stdout.
+    pub fn run<T>(
+        &mut self,
+        name: &str,
+        driver: impl FnOnce() -> T,
+        render: impl FnOnce(&T) -> Vec<Table>,
+    ) -> T {
+        let before = telemetry::snapshot();
+        let started = Instant::now();
+        let value = driver();
+        let seconds = started.elapsed().as_secs_f64();
+        let counters = telemetry::snapshot().counter_deltas_since(&before);
+        self.manifest.experiments.push(ExperimentRecord {
+            name: name.to_string(),
+            seconds,
+            counters: counters.clone(),
+        });
+        if let Some(dir) = &self.json_dir {
+            let record = ExperimentJson {
+                name: name.to_string(),
+                seed: self.manifest.seed,
+                quick: self.manifest.quick,
+                seconds,
+                counters,
+                tables: render(&value).iter().map(TableJson::from_table).collect(),
+            };
+            write_json(&dir.join(format!("{name}.json")), &record);
+        }
+        value
+    }
+
+    /// Finalizes the manifest (total wall-clock, final metrics) and,
+    /// under `--json`, writes `manifest.json` and `metrics.jsonl`.
+    /// Returns the manifest for in-process inspection.
+    pub fn finish(mut self) -> RunManifest {
+        self.manifest.total_seconds = self.started.elapsed().as_secs_f64();
+        self.manifest.final_metrics = telemetry::snapshot();
+        if let Some(dir) = &self.json_dir {
+            write_json(&dir.join("manifest.json"), &self.manifest);
+            let path = dir.join("metrics.jsonl");
+            let file = std::fs::File::create(&path)
+                .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+            telemetry::write_metrics_jsonl(file, &self.manifest.final_metrics)
+                .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        }
+        self.manifest
+    }
+}
+
+fn write_json<T: serde::Serialize>(path: &Path, value: &T) {
+    let json = serde_json::to_string_pretty(value)
+        .unwrap_or_else(|e| panic!("cannot serialize {}: {e}", path.display()));
+    std::fs::write(path, json + "\n")
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+}
+
+/// Runs every experiment in sequence, printing each table to stdout
+/// exactly as `repro_all` always has, while the session records
+/// timing, counters and (under `--json`) structured results.
+pub fn run_all(session: &mut Session) {
+    use mlam::experiments::ablations::{run_ablations, AblationParams};
+    use mlam::experiments::ac0::{run_ac0, Ac0Params};
+    use mlam::experiments::corollary2::{run_corollary2, Corollary2Params};
+    use mlam::experiments::exact_vs_approx::{run_exact_vs_approx, ExactVsApproxParams};
+    use mlam::experiments::interpose::{run_interpose, InterposeParams};
+    use mlam::experiments::lockdown::{run_lockdown, LockdownParams};
+    use mlam::experiments::locking::{run_locking, LockingParams};
+    use mlam::experiments::rocknroll::{run_rocknroll, RocknRollParams};
+    use mlam::experiments::sequential::{run_sequential, SequentialParams};
+    use mlam::experiments::spectral::{run_spectral, SpectralParams};
+    use mlam::experiments::{
+        run_table1, run_table2, run_table3, Table1Params, Table2Params, Table3Params,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let _span = telemetry::span("bench.run_all").attr("quick", session.quick());
+    let quick = session.quick();
+    let mut rng = StdRng::seed_from_u64(session.seed());
+
+    let t1 = if quick {
+        Table1Params::quick()
+    } else {
+        Table1Params::paper()
+    };
+    let r1 = session.run(
+        "table1",
+        || run_table1(&t1, &mut rng),
+        |r| vec![r.to_table(), r.empirical_table()],
+    );
+    println!("{}", r1.to_table());
+    println!("{}", r1.empirical_table());
+
+    let t2 = if quick {
+        Table2Params::quick()
+    } else {
+        Table2Params::paper()
+    };
+    let r2 = session.run(
+        "table2",
+        || run_table2(&t2, &mut rng),
+        |r| vec![r.to_table()],
+    );
+    println!("{}", r2.to_table());
+
+    let t3 = if quick {
+        Table3Params::quick()
+    } else {
+        Table3Params::paper()
+    };
+    let r3 = session.run(
+        "table3",
+        || run_table3(&t3, &mut rng),
+        |r| vec![r.to_table()],
+    );
+    println!("{}", r3.to_table());
+
+    let c2 = if quick {
+        Corollary2Params::quick()
+    } else {
+        Corollary2Params::paper()
+    };
+    let rc2 = session.run(
+        "corollary2",
+        || run_corollary2(&c2, &mut rng),
+        |r| vec![r.to_table()],
+    );
+    println!("{}", rc2.to_table());
+
+    let lk = if quick {
+        LockingParams::quick()
+    } else {
+        LockingParams::paper()
+    };
+    let rlk = session.run(
+        "locking",
+        || run_locking(&lk, &mut rng),
+        |r| vec![r.to_table()],
+    );
+    println!("{}", rlk.to_table());
+
+    let sq = if quick {
+        SequentialParams::quick()
+    } else {
+        SequentialParams::paper()
+    };
+    let rsq = session.run(
+        "sequential",
+        || run_sequential(&sq, &mut rng),
+        |r| vec![r.to_table()],
+    );
+    println!("{}", rsq.to_table());
+
+    let ea = if quick {
+        ExactVsApproxParams::quick()
+    } else {
+        ExactVsApproxParams::paper()
+    };
+    let rea = session.run(
+        "exact_vs_approx",
+        || run_exact_vs_approx(&ea, &mut rng),
+        |r| vec![r.to_table()],
+    );
+    println!("{}", rea.to_table());
+
+    let a0 = if quick {
+        Ac0Params::quick()
+    } else {
+        Ac0Params::paper()
+    };
+    let ra0 = session.run("ac0", || run_ac0(&a0, &mut rng), |r| vec![r.to_table()]);
+    println!("{}", ra0.to_table());
+
+    let sp = if quick {
+        SpectralParams::quick()
+    } else {
+        SpectralParams::paper()
+    };
+    let rsp = session.run(
+        "spectral",
+        || run_spectral(&sp, &mut rng),
+        |r| vec![r.to_table()],
+    );
+    println!("{}", rsp.to_table());
+
+    let ip = if quick {
+        InterposeParams::quick()
+    } else {
+        InterposeParams::paper()
+    };
+    let rip = session.run(
+        "interpose",
+        || run_interpose(&ip, &mut rng),
+        |r| vec![r.to_table()],
+    );
+    println!("{}", rip.to_table());
+
+    let rr = if quick {
+        RocknRollParams::quick()
+    } else {
+        RocknRollParams::paper()
+    };
+    let rrr = session.run(
+        "rocknroll",
+        || run_rocknroll(&rr, &mut rng),
+        |r| vec![r.to_table()],
+    );
+    println!("{}", rrr.to_table());
+
+    let ld = if quick {
+        LockdownParams::quick()
+    } else {
+        LockdownParams::paper()
+    };
+    let rld = session.run(
+        "lockdown",
+        || run_lockdown(&ld, &mut rng),
+        |r| vec![r.to_table()],
+    );
+    println!("{}", rld.to_table());
+
+    let ab = if quick {
+        AblationParams::quick()
+    } else {
+        AblationParams::paper()
+    };
+    let rab = session.run(
+        "ablations",
+        || run_ablations(&ab, &mut rng),
+        |r| r.to_tables(),
+    );
+    for table in rab.to_tables() {
+        println!("{table}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cli_parses_quick_and_json() {
+        let opts = parse_cli(["bin", "--quick", "--json", "out/dir"].map(String::from));
+        assert!(opts.quick);
+        assert_eq!(opts.json_dir.as_deref(), Some(Path::new("out/dir")));
+        let none = parse_cli(["bin", "--other"].map(String::from));
+        assert_eq!(none, CliOptions::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "--json requires a directory")]
+    fn cli_rejects_dangling_json_flag() {
+        parse_cli(["bin", "--json"].map(String::from));
+    }
+
+    #[test]
+    fn session_records_experiments_without_json() {
+        let mut session = Session::start("test-tool", &CliOptions::default());
+        let value = session.run(
+            "demo",
+            || {
+                mlam::telemetry::counter!("bench.test.session_counter", 3);
+                41 + 1
+            },
+            |_| Vec::new(),
+        );
+        assert_eq!(value, 42);
+        let manifest = session.finish();
+        assert_eq!(manifest.tool, "test-tool");
+        assert_eq!(manifest.experiments.len(), 1);
+        let exp = &manifest.experiments[0];
+        assert_eq!(exp.name, "demo");
+        assert!(exp.seconds >= 0.0);
+        assert_eq!(exp.counters["bench.test.session_counter"], 3);
+        assert!(manifest.total_seconds >= exp.seconds);
+        assert!(!manifest.crate_versions.is_empty());
+    }
+}

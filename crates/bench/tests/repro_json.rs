@@ -1,0 +1,136 @@
+//! End-to-end test of the `repro_all --quick --json <dir>` contract:
+//! the manifest, per-experiment JSON files and metrics JSONL must all
+//! exist, deserialize through serde, and agree with the in-process
+//! manifest — and two runs from the same seed must report identical
+//! per-experiment query counters.
+
+use mlam::telemetry::{Event, MetricLine, RunManifest};
+use mlam_bench::{run_all, CliOptions, ExperimentJson, Session};
+use std::path::Path;
+
+const EXPERIMENTS: &[&str] = &[
+    "table1",
+    "table2",
+    "table3",
+    "corollary2",
+    "locking",
+    "sequential",
+    "exact_vs_approx",
+    "ac0",
+    "spectral",
+    "interpose",
+    "rocknroll",
+    "lockdown",
+    "ablations",
+];
+
+fn run_once(dir: &Path) -> RunManifest {
+    let options = CliOptions {
+        quick: true,
+        json_dir: Some(dir.to_path_buf()),
+    };
+    let mut session = Session::start("repro_all", &options);
+    run_all(&mut session);
+    session.finish()
+}
+
+#[test]
+fn quick_json_run_is_complete_and_deterministic() {
+    let base = std::env::temp_dir().join(format!("mlam_repro_json_{}", std::process::id()));
+    let dir_a = base.join("a");
+    let dir_b = base.join("b");
+    // Sequential same-seed runs: the global counters accumulate, but
+    // the per-experiment snapshot deltas must match exactly.
+    let manifest_a = run_once(&dir_a);
+    let manifest_b = run_once(&dir_b);
+
+    assert_eq!(manifest_a.seed, mlam_bench::REPRO_SEED);
+    assert!(manifest_a.quick);
+    assert!(manifest_a.total_seconds > 0.0);
+    assert!(!manifest_a.crate_versions.is_empty());
+
+    // The manifest lists every experiment, in order, with wall-clock
+    // and at least one counted query column somewhere.
+    let names: Vec<&str> = manifest_a
+        .experiments
+        .iter()
+        .map(|e| e.name.as_str())
+        .collect();
+    assert_eq!(names, EXPERIMENTS);
+    assert!(manifest_a.experiments.iter().all(|e| e.seconds >= 0.0));
+    let totals = manifest_a.counter_totals();
+    assert!(
+        totals.keys().any(|k| k.starts_with("oracle.")),
+        "no oracle counters in {totals:?}"
+    );
+    assert!(
+        totals.keys().any(|k| k.starts_with("sat.")),
+        "no sat counters in {totals:?}"
+    );
+
+    // manifest.json round-trips through serde to exactly the manifest
+    // the session returned.
+    let text = std::fs::read_to_string(dir_a.join("manifest.json")).unwrap();
+    let parsed: RunManifest = serde_json::from_str(&text).unwrap();
+    assert_eq!(parsed, manifest_a);
+
+    // One structured result file per experiment, consistent with the
+    // manifest record.
+    for (i, name) in EXPERIMENTS.iter().enumerate() {
+        let path = dir_a.join(format!("{name}.json"));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing {}: {e}", path.display()));
+        let exp: ExperimentJson = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("bad JSON in {}: {e}", path.display()));
+        assert_eq!(exp.name, *name);
+        assert_eq!(exp.seed, manifest_a.seed);
+        assert!(exp.quick);
+        assert_eq!(exp.counters, manifest_a.experiments[i].counters);
+        assert!(!exp.tables.is_empty(), "{name} rendered no tables");
+        for table in &exp.tables {
+            assert!(!table.header.is_empty());
+        }
+    }
+
+    // metrics.jsonl: every line is a MetricLine.
+    let metrics = std::fs::read_to_string(dir_a.join("metrics.jsonl")).unwrap();
+    let mut lines = 0usize;
+    for line in metrics.lines() {
+        let _: MetricLine =
+            serde_json::from_str(line).unwrap_or_else(|e| panic!("bad metrics line {line}: {e}"));
+        lines += 1;
+    }
+    assert!(lines > 0, "metrics.jsonl is empty");
+
+    // events.jsonl: every line is an Event, and the named driver spans
+    // all appear.
+    let events = std::fs::read_to_string(dir_a.join("events.jsonl")).unwrap();
+    let parsed_events: Vec<Event> = events
+        .lines()
+        .map(|line| {
+            serde_json::from_str(line).unwrap_or_else(|e| panic!("bad event line {line}: {e}"))
+        })
+        .collect();
+    for name in EXPERIMENTS {
+        let span = format!("experiment.{name}");
+        // The ablations driver's span is experiment.ablations, etc.
+        assert!(
+            parsed_events.iter().any(|e| e.name == span),
+            "no span events for {span}"
+        );
+    }
+
+    // Determinism: same seed, same parameter set -> identical counter
+    // deltas for every experiment (wall-clock of course differs).
+    assert_eq!(manifest_a.experiments.len(), manifest_b.experiments.len());
+    for (a, b) in manifest_a.experiments.iter().zip(&manifest_b.experiments) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(
+            a.counters, b.counters,
+            "experiment {} is not seed-deterministic",
+            a.name
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -89,7 +89,11 @@ impl BitVec {
     ///
     /// Panics if the vector is longer than 64 bits.
     pub fn to_u64(&self) -> u64 {
-        assert!(self.len <= 64, "to_u64 requires len <= 64, got {}", self.len);
+        assert!(
+            self.len <= 64,
+            "to_u64 requires len <= 64, got {}",
+            self.len
+        );
         self.words.first().copied().unwrap_or(0)
     }
 
@@ -138,7 +142,11 @@ impl BitVec {
     /// Panics if `i >= self.len()`.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of range for len {}", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for len {}",
+            self.len
+        );
         (self.words[i / 64] >> (i % 64)) & 1 == 1
     }
 
@@ -149,7 +157,11 @@ impl BitVec {
     /// Panics if `i >= self.len()`.
     #[inline]
     pub fn set(&mut self, i: usize, b: bool) {
-        assert!(i < self.len, "bit index {i} out of range for len {}", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for len {}",
+            self.len
+        );
         let w = &mut self.words[i / 64];
         if b {
             *w |= 1 << (i % 64);
@@ -165,7 +177,11 @@ impl BitVec {
     /// Panics if `i >= self.len()`.
     #[inline]
     pub fn flip(&mut self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of range for len {}", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for len {}",
+            self.len
+        );
         self.words[i / 64] ^= 1 << (i % 64);
         self.get(i)
     }

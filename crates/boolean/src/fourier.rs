@@ -249,12 +249,7 @@ where
 /// Draws `samples` uniform inputs once and reuses them for every mask —
 /// this is precisely how the LMN algorithm spends its example budget.
 /// Returns coefficients in the same order as `masks`.
-pub fn estimate_coefficients<F, R>(
-    f: &F,
-    masks: &[u64],
-    samples: usize,
-    rng: &mut R,
-) -> Vec<f64>
+pub fn estimate_coefficients<F, R>(f: &F, masks: &[u64], samples: usize, rng: &mut R) -> Vec<f64>
 where
     F: BooleanFunction + ?Sized,
     R: Rng + ?Sized,
@@ -444,6 +439,9 @@ mod tests {
         // Majority of 3: three singleton coefficients of magnitude 1/2
         // plus the full-mask coefficient of magnitude 1/2.
         assert_eq!(sig.len(), 4);
-        assert!(sig.terms().iter().all(|(_, c)| (c.abs() - 0.5).abs() < 1e-12));
+        assert!(sig
+            .terms()
+            .iter()
+            .all(|(_, c)| (c.abs() - 0.5).abs() < 1e-12));
     }
 }

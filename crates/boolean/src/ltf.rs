@@ -79,11 +79,7 @@ impl LinearThreshold {
     ///
     /// Panics if the LTF is identically zero.
     pub fn normalized(&self) -> LinearThreshold {
-        let norm = (self
-            .weights
-            .iter()
-            .map(|w| w * w)
-            .sum::<f64>()
+        let norm = (self.weights.iter().map(|w| w * w).sum::<f64>()
             + self.threshold * self.threshold)
             .sqrt();
         assert!(norm > 0.0, "cannot normalize the zero LTF");
@@ -223,8 +219,7 @@ impl ChowParameters {
     /// halfspace it is small. The halfspace tester of
     /// [`crate::testing`] thresholds this statistic.
     pub fn level_one_weight(&self) -> f64 {
-        self.constant * self.constant
-            + self.degree_one.iter().map(|d| d * d).sum::<f64>()
+        self.constant * self.constant + self.degree_one.iter().map(|d| d * d).sum::<f64>()
     }
 
     /// Builds the LTF `f′ = sgn(Σ f̂({i})·x_i + f̂(∅))` whose weights are
@@ -269,8 +264,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let f = LinearThreshold::new(vec![3.0, -2.0, 0.5, 1.5], 0.7);
         let g = f.normalized();
-        let norm: f64 = g.weights().iter().map(|w| w * w).sum::<f64>()
-            + g.threshold() * g.threshold();
+        let norm: f64 =
+            g.weights().iter().map(|w| w * w).sum::<f64>() + g.threshold() * g.threshold();
         assert!((norm - 1.0).abs() < 1e-12);
         for _ in 0..100 {
             let x = BitVec::random(4, &mut rng);

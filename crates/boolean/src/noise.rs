@@ -152,7 +152,10 @@ mod tests {
         let t = TruthTable::random(8, &mut rng);
         let exact = noise_sensitivity_exact(&t.fourier(), 0.1);
         let sampled = noise_sensitivity(&t, 0.1, 60_000, &mut rng);
-        assert!((exact - sampled).abs() < 0.02, "exact {exact} sampled {sampled}");
+        assert!(
+            (exact - sampled).abs() < 0.02,
+            "exact {exact} sampled {sampled}"
+        );
     }
 
     #[test]

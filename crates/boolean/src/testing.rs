@@ -162,18 +162,13 @@ impl HalfspaceTester {
             let held = if held.is_empty() { fit } else { held };
 
             // 1. Chow statistic on the fitting split.
-            let fit_owned: Vec<(BitVec, bool)> =
-                fit.iter().map(|(x, y)| (x.clone(), *y)).collect();
+            let fit_owned: Vec<(BitVec, bool)> = fit.iter().map(|(x, y)| (x.clone(), *y)).collect();
             let chow = ChowParameters::from_data(n, &fit_owned);
             w1_sum += chow.level_one_weight();
 
             // 2. Candidate halfspace: Chow LTF + pocket-perceptron polish.
-            let candidate = pocket_perceptron(
-                n,
-                &fit_owned,
-                Some(chow.to_ltf()),
-                self.polish_epochs,
-            );
+            let candidate =
+                pocket_perceptron(n, &fit_owned, Some(chow.to_ltf()), self.polish_epochs);
 
             // 3. Distance = held-out disagreement of the candidate.
             distance_sum += disagreement(&candidate, held);
@@ -185,13 +180,12 @@ impl HalfspaceTester {
         // signature is weak and no good halfspace was found. A halfspace
         // that is merely biased can have small W1, so the constructive
         // evidence (a candidate achieving distance < eps) dominates.
-        let verdict = if distance <= self.eps
-            || w1 >= HALFSPACE_LEVEL_ONE_FLOOR * (1.0 - 4.0 * self.eps)
-        {
-            Verdict::Halfspace
-        } else {
-            Verdict::FarFromHalfspace
-        };
+        let verdict =
+            if distance <= self.eps || w1 >= HALFSPACE_LEVEL_ONE_FLOOR * (1.0 - 4.0 * self.eps) {
+                Verdict::Halfspace
+            } else {
+                Verdict::FarFromHalfspace
+            };
 
         TesterReport {
             level_one_weight: w1,
@@ -291,11 +285,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn sample<F: BooleanFunction>(
-        f: &F,
-        m: usize,
-        rng: &mut StdRng,
-    ) -> Vec<(BitVec, bool)> {
+    fn sample<F: BooleanFunction>(f: &F, m: usize, rng: &mut StdRng) -> Vec<(BitVec, bool)> {
         (0..m)
             .map(|_| {
                 let x = BitVec::random(f.num_inputs(), rng);
@@ -350,7 +340,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let target = LinearThreshold::random(10, &mut rng);
         let data = sample(&target, 800, &mut rng);
-        let fit = pocket_perceptron(10, &data, None, 100);
+        let fit = pocket_perceptron(10, &data, None, 400);
         let refs: Vec<&(BitVec, bool)> = data.iter().collect();
         assert_eq!(disagreement(&fit, &refs), 0.0);
     }

@@ -124,7 +124,9 @@ mod tests {
     #[test]
     fn parseval_holds() {
         let mut rng = StdRng::seed_from_u64(5);
-        let vals: Vec<f64> = (0..128).map(|_| if rng.gen() { 1.0 } else { -1.0 }).collect();
+        let vals: Vec<f64> = (0..128)
+            .map(|_| if rng.gen() { 1.0 } else { -1.0 })
+            .collect();
         let mut t = vals.clone();
         walsh_hadamard(&mut t);
         let sum_sq: f64 = t.iter().map(|v| (v / 128.0).powi(2)).sum();

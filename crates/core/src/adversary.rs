@@ -220,13 +220,10 @@ impl AdversaryModel {
                 attack: attack.representation.clone(),
             });
         }
-        if self.goal == InferenceGoal::Exact && attack.goal == InferenceGoal::Approximate
-        {
+        if self.goal == InferenceGoal::Exact && attack.goal == InferenceGoal::Approximate {
             pitfalls.push(Pitfall::ExactVersusApproximate);
         }
-        if self.goal == InferenceGoal::Exact
-            && attack.access == AccessModel::MembershipQueries
-        {
+        if self.goal == InferenceGoal::Exact && attack.access == AccessModel::MembershipQueries {
             // Approximate-to-exact conversion with membership queries:
             // an exact-hardness claim is void against such attackers.
             pitfalls.push(Pitfall::ApproximateToExactConversion);
@@ -383,10 +380,10 @@ mod tests {
         // transfer: [9] bounds a proper learner, [17] is improper.
         let verdict = claim_9.comparability(&attack_17);
         assert!(!verdict.is_comparable());
-        assert!(verdict.pitfalls().iter().any(|p| matches!(
-            p,
-            Pitfall::RepresentationMismatch { .. }
-        )));
+        assert!(verdict
+            .pitfalls()
+            .iter()
+            .any(|p| matches!(p, Pitfall::RepresentationMismatch { .. })));
     }
 
     #[test]
@@ -402,7 +399,8 @@ mod tests {
         let attack = AdversaryModel::membership_query_attack();
         let verdict = claim.comparability(&attack);
         assert!(verdict
-            .pitfalls().contains(&Pitfall::ApproximateToExactConversion));
+            .pitfalls()
+            .contains(&Pitfall::ApproximateToExactConversion));
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::adversary::AdversaryModel;
 use mlam_boolean::BooleanFunction;
 use mlam_learn::dataset::LabeledSet;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// The outcome of one attack run, annotated with the adversary model it
@@ -22,6 +23,10 @@ pub struct AttackReport {
     pub queries: u64,
     /// Wall-clock seconds.
     pub seconds: f64,
+    /// Telemetry counter increments observed while the learner ran
+    /// (e.g. `learn.perceptron.epochs`, `sat.conflicts`). Empty when
+    /// the learner touched no instrumented code path.
+    pub metrics: BTreeMap<String, u64>,
 }
 
 impl AttackReport {
@@ -54,15 +59,22 @@ where
     L: FnOnce(&LabeledSet) -> H,
     H: BooleanFunction,
 {
+    let span = mlam_telemetry::span("attack.example")
+        .attr("learner", name)
+        .attr("train", train.len());
+    let before = mlam_telemetry::snapshot();
     let started = Instant::now();
     let hypothesis = learner(train);
     let seconds = started.elapsed().as_secs_f64();
+    let metrics = mlam_telemetry::snapshot().counter_deltas_since(&before);
+    drop(span);
     AttackReport {
         learner: name.to_string(),
         setting,
         accuracy: test.accuracy_of(&hypothesis),
         queries: train.len() as u64,
         seconds,
+        metrics,
     }
 }
 
@@ -91,6 +103,12 @@ mod tests {
         assert!(report.accuracy > 0.9, "{report:?}");
         assert_eq!(report.queries, 1500);
         assert!(report.seconds >= 0.0);
+        // The perceptron's instrumentation must show up in the report.
+        assert!(
+            report.metrics.contains_key("learn.perceptron.epochs"),
+            "{:?}",
+            report.metrics
+        );
     }
 
     #[test]
@@ -101,6 +119,7 @@ mod tests {
             accuracy: 0.9,
             queries: 10,
             seconds: 0.0,
+            metrics: BTreeMap::new(),
         };
         let mut b = a.clone();
         assert!(a.comparable_with(&b));

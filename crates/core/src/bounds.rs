@@ -11,7 +11,9 @@
 //! | Cor. 1 | `O(n^{k²/ε²}·ln(1/δ))` | uniform | LMN | uniform examples |
 //! | Cor. 2 | `poly(n, k, 1/ε, log(1/δ))` | uniform | LearnPoly | membership queries |
 
-use crate::adversary::{AccessModel, AdversaryModel, DistributionModel, InferenceGoal, RepresentationModel};
+use crate::adversary::{
+    AccessModel, AdversaryModel, DistributionModel, InferenceGoal, RepresentationModel,
+};
 use serde::{Deserialize, Serialize};
 
 /// Row 1 of Table I: the Perceptron mistake-bound result of \[9\]:
@@ -213,9 +215,7 @@ mod tests {
 
     #[test]
     fn bounds_shrink_with_looser_eps() {
-        assert!(
-            perceptron_bound(32, 2, 0.2, 0.01) < perceptron_bound(32, 2, 0.05, 0.01)
-        );
+        assert!(perceptron_bound(32, 2, 0.2, 0.01) < perceptron_bound(32, 2, 0.05, 0.01));
         assert!(general_vc_bound(32, 2, 0.2, 0.01) < general_vc_bound(32, 2, 0.05, 0.01));
         assert!(lmn_bound_log10(32, 2, 0.2, 0.01) < lmn_bound_log10(32, 2, 0.05, 0.01));
     }

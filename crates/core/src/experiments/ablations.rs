@@ -10,6 +10,7 @@
 //!    response noise (footnote 1's attribute-noise discussion).
 
 use crate::report::{pct, Table};
+use mlam_boolean::BooleanFunction;
 use mlam_learn::chow::{table_ii_procedure, ChowConfig};
 use mlam_learn::dataset::LabeledSet;
 use mlam_learn::distribution::ChallengeDistribution;
@@ -19,7 +20,6 @@ use mlam_learn::perceptron::Perceptron;
 use mlam_puf::crp::collect_noisy;
 use mlam_puf::noise::ResponseNoise;
 use mlam_puf::{ArbiterPuf, BistableRingPuf, BrPufConfig};
-use mlam_boolean::BooleanFunction;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -105,7 +105,12 @@ impl AblationResult {
         }
         let mut t4 = Table::new(
             "Ablation 4: response noise vs. learner accuracy (Arbiter PUF)",
-            &["noise rate", "Perceptron [%]", "Logistic [%]", "LMN(d=1) [%]"],
+            &[
+                "noise rate",
+                "Perceptron [%]",
+                "Logistic [%]",
+                "LMN(d=1) [%]",
+            ],
         );
         for (r, p, l, m) in &self.noise {
             t4.row(&[format!("{r:.2}"), pct(*p), pct(*l), pct(*m)]);
@@ -116,6 +121,7 @@ impl AblationResult {
 
 /// Runs all four ablations.
 pub fn run_ablations<R: Rng + ?Sized>(params: &AblationParams, rng: &mut R) -> AblationResult {
+    let _span = mlam_telemetry::span("experiment.ablations");
     // 1. Nonlinearity sweep.
     let mut nonlinearity = Vec::new();
     for &lambda in &params.lambdas {
@@ -148,20 +154,14 @@ pub fn run_ablations<R: Rng + ?Sized>(params: &AblationParams, rng: &mut R) -> A
             let y = apuf.eval(&x);
             train.push(x, y);
         }
-        let out = Perceptron::new(60).train_with(
-            mlam_learn::features::ArbiterPhiFeatures::new(32),
-            &train,
-        );
+        let out = Perceptron::new(60)
+            .train_with(mlam_learn::features::ArbiterPhiFeatures::new(32), &train);
         distribution_shift.push((p, uniform_test.accuracy_of(&out.model)));
     }
 
     // 3. Proper vs. improper on the calibrated BR PUF.
     let mut representation = Vec::new();
-    let br = BistableRingPuf::sample(
-        params.br_n,
-        BrPufConfig::calibrated(params.br_n),
-        rng,
-    );
+    let br = BistableRingPuf::sample(params.br_n, BrPufConfig::calibrated(params.br_n), rng);
     let train = LabeledSet::sample(&br, params.train_size, rng);
     let test = LabeledSet::sample(&br, params.test_size, rng);
     let proper = table_ii_procedure(&train, &test, ChowConfig::default(), 40);
@@ -182,8 +182,7 @@ pub fn run_ablations<R: Rng + ?Sized>(params: &AblationParams, rng: &mut R) -> A
         let train = LabeledSet::from_pairs(24, set.to_labeled());
         let phi = mlam_learn::features::ArbiterPhiFeatures::new(24);
         let perc = Perceptron::new(40).train_with(phi, &train);
-        let logi = LogisticRegression::new(LogisticConfig::default())
-            .train_phi(&train, rng);
+        let logi = LogisticRegression::new(LogisticConfig::default()).train_phi(&train, rng);
         let lmn = lmn_learn(&train, LmnConfig::new(1));
         noise.push((
             rate,

@@ -14,9 +14,9 @@
 //! degree.
 
 use crate::report::{pct, Table};
+use mlam_boolean::{BitVec, BooleanFunction};
 use mlam_learn::dataset::LabeledSet;
 use mlam_learn::lmn::{lmn_learn, LmnConfig};
-use mlam_boolean::{BitVec, BooleanFunction};
 use mlam_netlist::generate::{ac0_circuit, parity_tree};
 use mlam_netlist::Netlist;
 use rand::Rng;
@@ -122,6 +122,7 @@ impl BooleanFunction for NetlistOutput<'_> {
 
 /// Runs the AC⁰ experiment.
 pub fn run_ac0<R: Rng + ?Sized>(params: &Ac0Params, rng: &mut R) -> Ac0Result {
+    let _span = mlam_telemetry::span("experiment.ac0");
     let mut rows = Vec::new();
     for &depth in &params.depths {
         let mut acc = 0.0;

@@ -79,7 +79,13 @@ impl Corollary2Result {
     pub fn to_table(&self) -> Table {
         let mut t = Table::new(
             "Corollary 2: exact learning of k-XOR junta PUFs with membership queries",
-            &["n", "membership queries", "analytic budget", "degree", "exact?"],
+            &[
+                "n",
+                "membership queries",
+                "analytic budget",
+                "degree",
+                "exact?",
+            ],
         );
         for r in &self.rows {
             t.row(&[
@@ -97,12 +103,7 @@ impl Corollary2Result {
 /// Builds the target: XOR of `k` conjunctions over random disjoint
 /// small subsets — an `O(k)`-term `r`-XT, hence a sparse low-degree F₂
 /// polynomial (the proof object of Corollary 2).
-fn build_target<R: Rng + ?Sized>(
-    n: usize,
-    k: usize,
-    junta_size: usize,
-    rng: &mut R,
-) -> Anf {
+fn build_target<R: Rng + ?Sized>(n: usize, k: usize, junta_size: usize, rng: &mut R) -> Anf {
     assert!(k * junta_size <= n, "need disjoint junta supports");
     let mut vars: Vec<usize> = (0..n).collect();
     vars.shuffle(rng);
@@ -115,10 +116,8 @@ fn build_target<R: Rng + ?Sized>(
 }
 
 /// Runs the Corollary 2 experiment.
-pub fn run_corollary2<R: Rng + ?Sized>(
-    params: &Corollary2Params,
-    rng: &mut R,
-) -> Corollary2Result {
+pub fn run_corollary2<R: Rng + ?Sized>(params: &Corollary2Params, rng: &mut R) -> Corollary2Result {
+    let _span = mlam_telemetry::span("experiment.corollary2");
     let rows = params
         .ns
         .iter()
@@ -127,12 +126,7 @@ pub fn run_corollary2<R: Rng + ?Sized>(
             let t2 = target.clone();
             let device = FnFunction::new(n, move |x: &BitVec| t2.eval(x));
             let oracle = FunctionOracle::uniform(&device);
-            let out = learn_anf_adaptive(
-                &oracle,
-                params.junta_size + 1,
-                params.eq_budget,
-                rng,
-            );
+            let out = learn_anf_adaptive(&oracle, params.junta_size + 1, params.eq_budget, rng);
             // Exactness check on random points.
             let mut exact = out.accepted;
             for _ in 0..2000 {

@@ -78,7 +78,12 @@ impl ExactVsApproxResult {
     pub fn to_table(&self) -> Table {
         let mut t = Table::new(
             "Exact vs approximate inference on SARLock point-function locking",
-            &["key bits", "exact SAT DIPs", "AppSAT DIPs", "AppSAT accuracy [%]"],
+            &[
+                "key bits",
+                "exact SAT DIPs",
+                "AppSAT DIPs",
+                "AppSAT accuracy [%]",
+            ],
         );
         for r in &self.rows {
             t.row(&[
@@ -97,6 +102,7 @@ pub fn run_exact_vs_approx<R: Rng + ?Sized>(
     params: &ExactVsApproxParams,
     rng: &mut R,
 ) -> ExactVsApproxResult {
+    let _span = mlam_telemetry::span("experiment.exact_vs_approx");
     let rows = params
         .key_widths
         .iter()

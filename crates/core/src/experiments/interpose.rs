@@ -155,10 +155,8 @@ impl ComposedModel {
 }
 
 /// Runs the iPUF representation experiment.
-pub fn run_interpose<R: Rng + ?Sized>(
-    params: &InterposeParams,
-    rng: &mut R,
-) -> InterposeResult {
+pub fn run_interpose<R: Rng + ?Sized>(params: &InterposeParams, rng: &mut R) -> InterposeResult {
+    let _span = mlam_telemetry::span("experiment.interpose");
     let n = params.n;
     let puf = InterposePuf::sample(n, 1, 1, 0.0, rng);
     let position = puf.position();
@@ -194,9 +192,7 @@ pub fn run_interpose<R: Rng + ?Sized>(
         };
         let wrong = prepared
             .iter()
-            .filter(|crp| {
-                model.predict_pm(&crp.phi_upper, &crp.phi_lower0) != crp.target
-            })
+            .filter(|crp| model.predict_pm(&crp.phi_upper, &crp.phi_lower0) != crp.target)
             .count();
         wrong as f64 / prepared.len() as f64
     };

@@ -8,12 +8,12 @@
 //! an enrollment engineer reads backwards to pick the budget.
 
 use crate::report::{pct, Table};
+use mlam_boolean::BitVec;
 use mlam_learn::dataset::LabeledSet;
 use mlam_learn::features::ArbiterPhiFeatures;
 use mlam_learn::perceptron::Perceptron;
 use mlam_puf::lockdown::{LockdownError, LockdownPuf};
 use mlam_puf::ArbiterPuf;
-use mlam_boolean::BitVec;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -89,6 +89,7 @@ impl LockdownResult {
 /// Runs the lockdown sweep. The same physical device (same weights) is
 /// wrapped behind each budget so rows are directly comparable.
 pub fn run_lockdown<R: Rng + ?Sized>(params: &LockdownParams, rng: &mut R) -> LockdownResult {
+    let _span = mlam_telemetry::span("experiment.lockdown");
     let device = ArbiterPuf::sample(params.n, 0.0, rng);
     let test = LabeledSet::sample(&device, params.test_size, rng);
     let rows = params
@@ -106,8 +107,7 @@ pub fn run_lockdown<R: Rng + ?Sized>(params: &LockdownParams, rng: &mut R) -> Lo
                     Err(LockdownError::BudgetExhausted) => break,
                 }
             }
-            let out = Perceptron::new(80)
-                .train_with(ArbiterPhiFeatures::new(params.n), &train);
+            let out = Perceptron::new(80).train_with(ArbiterPhiFeatures::new(params.n), &train);
             LockdownRow {
                 budget,
                 crps_extracted: train.len(),

@@ -109,6 +109,7 @@ impl LockingResult {
 
 /// Runs the locking comparison.
 pub fn run_locking<R: Rng + ?Sized>(params: &LockingParams, rng: &mut R) -> LockingResult {
+    let _span = mlam_telemetry::span("experiment.locking");
     let rows = params
         .key_widths
         .iter()
@@ -120,8 +121,7 @@ pub fn run_locking<R: Rng + ?Sized>(params: &LockingParams, rng: &mut R) -> Lock
             let mut pac_acc = 0.0;
             let mut pac_ex = 0.0;
             for _ in 0..params.trials {
-                let oracle =
-                    random_circuit(params.inputs, params.gates, params.outputs, rng);
+                let oracle = random_circuit(params.inputs, params.gates, params.outputs, rng);
                 let locked = lock_xor(&oracle, key_bits, rng);
 
                 let sat = sat_attack(&locked, &oracle, SatAttackConfig::default());

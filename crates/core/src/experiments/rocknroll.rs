@@ -118,21 +118,17 @@ impl RocknRollResult {
 }
 
 /// Runs the sweep.
-pub fn run_rocknroll<R: Rng + ?Sized>(
-    params: &RocknRollParams,
-    rng: &mut R,
-) -> RocknRollResult {
+pub fn run_rocknroll<R: Rng + ?Sized>(params: &RocknRollParams, rng: &mut R) -> RocknRollResult {
+    let _span = mlam_telemetry::span("experiment.rocknroll");
     let rows = params
         .deviations
         .iter()
         .map(|&deviation| {
-            let puf =
-                CorrelatedXorArbiterPuf::sample(params.n, params.k, deviation, 0.0, rng);
+            let puf = CorrelatedXorArbiterPuf::sample(params.n, params.k, deviation, 0.0, rng);
             let chain_correlation = puf.chain_correlation(2000, rng);
             let train = LabeledSet::sample(&puf, params.train_size, rng);
             let test = LabeledSet::sample(&puf, params.test_size, rng);
-            let perc = Perceptron::new(60)
-                .train_with(ArbiterPhiFeatures::new(params.n), &train);
+            let perc = Perceptron::new(60).train_with(ArbiterPhiFeatures::new(params.n), &train);
             let lmn = lmn_learn(&train, LmnConfig::new(params.lmn_degree));
             RocknRollRow {
                 deviation,
@@ -166,9 +162,7 @@ mod tests {
         let correlated = &result.rows[0];
         let independent = result.rows.last().expect("rows");
         // Correlated: well above chance (the paper's ≈75 % regime).
-        let best_corr = correlated
-            .perceptron_accuracy
-            .max(correlated.lmn_accuracy);
+        let best_corr = correlated.perceptron_accuracy.max(correlated.lmn_accuracy);
         assert!(
             best_corr > 0.68,
             "correlated device must be learnable: {best_corr}"

@@ -93,10 +93,8 @@ impl SequentialResult {
 }
 
 /// Runs the sequential-locking experiment.
-pub fn run_sequential<R: Rng + ?Sized>(
-    params: &SequentialParams,
-    rng: &mut R,
-) -> SequentialResult {
+pub fn run_sequential<R: Rng + ?Sized>(params: &SequentialParams, rng: &mut R) -> SequentialResult {
+    let _span = mlam_telemetry::span("experiment.sequential");
     let rows = params
         .state_counts
         .iter()
@@ -125,8 +123,7 @@ pub fn run_sequential<R: Rng + ?Sized>(
                 }
                 // Degenerate (constant-output) functional machines make
                 // "unlocking" unobservable; exclude them from the rate.
-                let degenerate =
-                    obf.functional().to_dfa().minimized().num_states() == 1;
+                let degenerate = obf.functional().to_dfa().minimized().num_states() == 1;
                 if !degenerate {
                     eligible += 1.0;
                     if let Some(seq) = &result.unlock_sequence {

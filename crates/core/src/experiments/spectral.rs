@@ -83,7 +83,13 @@ impl SpectralResult {
     pub fn to_table(&self) -> Table {
         let mut t = Table::new(
             "Spectral attacks on one BR PUF: LMN (random examples) vs KM (membership queries)",
-            &["algorithm", "access", "accuracy [%]", "oracle queries", "coefficients"],
+            &[
+                "algorithm",
+                "access",
+                "accuracy [%]",
+                "oracle queries",
+                "coefficients",
+            ],
         );
         t.row(&[
             "LMN".into(),
@@ -105,6 +111,7 @@ impl SpectralResult {
 
 /// Runs the spectral comparison.
 pub fn run_spectral<R: Rng + ?Sized>(params: &SpectralParams, rng: &mut R) -> SpectralResult {
+    let _span = mlam_telemetry::span("experiment.spectral");
     let cfg = BrPufConfig {
         pair_strength: params.pair_strength,
         triple_strength: 0.0,

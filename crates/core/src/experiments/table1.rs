@@ -4,6 +4,7 @@
 
 use crate::bounds::TableOne;
 use crate::report::{eng, Table};
+use mlam_boolean::{Anf, BooleanFunction};
 use mlam_learn::dataset::LabeledSet;
 use mlam_learn::eval::crps_to_accuracy;
 use mlam_learn::f2poly::learn_low_degree_anf;
@@ -11,7 +12,6 @@ use mlam_learn::features::ArbiterPhiFeatures;
 use mlam_learn::lmn::{lmn_learn, LmnConfig};
 use mlam_learn::oracle::FunctionOracle;
 use mlam_learn::perceptron::Perceptron;
-use mlam_boolean::{Anf, BooleanFunction};
 use mlam_puf::XorArbiterPuf;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -134,6 +134,7 @@ impl Table1Result {
 
 /// Runs the Table I reproduction.
 pub fn run_table1<R: Rng + ?Sized>(params: &Table1Params, rng: &mut R) -> Table1Result {
+    let _span = mlam_telemetry::span("experiment.table1");
     let mut bounds = Vec::new();
     for &n in &params.ns {
         for &k in &params.ks {
@@ -167,12 +168,7 @@ pub fn run_table1<R: Rng + ?Sized>(params: &Table1Params, rng: &mut R) -> Table1
                     k,
                     learner: "Perceptron/Phi".into(),
                     crps_needed: crps,
-                    analytic_bound: crate::bounds::perceptron_bound(
-                        n,
-                        k,
-                        params.eps,
-                        params.delta,
-                    ),
+                    analytic_bound: crate::bounds::perceptron_bound(n, k, params.eps, params.delta),
                 });
 
                 // LMN at low degree (row 3's algorithm) — only viable
@@ -204,10 +200,7 @@ pub fn run_table1<R: Rng + ?Sized>(params: &Table1Params, rng: &mut R) -> Table1
         // Row 4's algorithm on its natural concept class: XOR of small
         // juntas learned exactly with membership queries.
         let n = *params.ns.first().expect("non-empty ns");
-        let target = Anf::from_monomials(
-            n.min(63),
-            [0b11u64, 0b100, (1u64 << (n.min(63) - 1))],
-        );
+        let target = Anf::from_monomials(n.min(63), [0b11u64, 0b100, (1u64 << (n.min(63) - 1))]);
         let t2 = target.clone();
         let f = mlam_boolean::FnFunction::new(n.min(63), move |x| t2.eval(x));
         let oracle = FunctionOracle::uniform(&f);
@@ -217,12 +210,7 @@ pub fn run_table1<R: Rng + ?Sized>(params: &Table1Params, rng: &mut R) -> Table1
             k: 3,
             learner: "LearnPoly/Mobius(d=2)".into(),
             crps_needed: Some(out.membership_queries),
-            analytic_bound: crate::bounds::learnpoly_bound(
-                n.min(63),
-                3,
-                params.eps,
-                params.delta,
-            ),
+            analytic_bound: crate::bounds::learnpoly_bound(n.min(63), 3, params.eps, params.delta),
         });
     }
 

@@ -102,22 +102,25 @@ impl Table2Result {
 ///
 /// Panics if `ns` and `test_sizes` lengths differ.
 pub fn run_table2<R: Rng + ?Sized>(params: &Table2Params, rng: &mut R) -> Table2Result {
+    let _span = mlam_telemetry::span("experiment.table2");
     assert_eq!(
         params.ns.len(),
         params.test_sizes.len(),
         "one test size per n"
     );
-    let max_budget = *params
-        .crp_budgets
-        .iter()
-        .max()
-        .expect("non-empty budgets");
+    let max_budget = *params.crp_budgets.iter().max().expect("non-empty budgets");
     let mut accuracy = vec![vec![0.0; params.ns.len()]; params.crp_budgets.len()];
 
     for (j, (&n, &test_size)) in params.ns.iter().zip(&params.test_sizes).enumerate() {
         let puf = BistableRingPuf::sample(n, BrPufConfig::calibrated_accuracy(n), rng);
         // "Noiseless and stable CRPs": majority-vote filtered.
-        let pool = collect_stable(&puf, max_budget + test_size, params.stability_repeats, 1.0, rng);
+        let pool = collect_stable(
+            &puf,
+            max_budget + test_size,
+            params.stability_repeats,
+            1.0,
+            rng,
+        );
         let all = LabeledSet::from_pairs(n, pool.to_labeled());
         let test = LabeledSet::from_pairs(
             n,

@@ -107,6 +107,7 @@ pub fn spectral_distance_lower_bound(level_one_weight: f64) -> f64 {
 
 /// Runs the Table III reproduction.
 pub fn run_table3<R: Rng + ?Sized>(params: &Table3Params, rng: &mut R) -> Table3Result {
+    let _span = mlam_telemetry::span("experiment.table3");
     let tester = HalfspaceTester::new(params.eps, params.delta);
     let rows = params
         .points
@@ -120,9 +121,7 @@ pub fn run_table3<R: Rng + ?Sized>(params: &Table3Params, rng: &mut R) -> Table3
                 n,
                 crps,
                 distance: report.distance_estimate,
-                spectral_lower_bound: spectral_distance_lower_bound(
-                    report.level_one_weight,
-                ),
+                spectral_lower_bound: spectral_distance_lower_bound(report.level_one_weight),
                 far_from_halfspace: report.verdict == Verdict::FarFromHalfspace,
             }
         })
@@ -172,7 +171,10 @@ mod tests {
 
     #[test]
     fn spectral_bound_inverts_correctly() {
-        assert_eq!(spectral_distance_lower_bound(HALFSPACE_LEVEL_ONE_FLOOR), 0.0);
+        assert_eq!(
+            spectral_distance_lower_bound(HALFSPACE_LEVEL_ONE_FLOOR),
+            0.0
+        );
         assert!((spectral_distance_lower_bound(0.0) - 0.5).abs() < 1e-12);
         let mid = spectral_distance_lower_bound(HALFSPACE_LEVEL_ONE_FLOOR / 4.0);
         assert!((mid - 0.25).abs() < 1e-12);

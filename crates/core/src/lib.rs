@@ -53,8 +53,7 @@ pub mod experiments;
 pub mod report;
 
 pub use adversary::{
-    AccessModel, AdversaryModel, Comparability, DistributionModel, Pitfall,
-    RepresentationModel,
+    AccessModel, AdversaryModel, Comparability, DistributionModel, Pitfall, RepresentationModel,
 };
 pub use attack::AttackReport;
 pub use bounds::TableOne;
@@ -66,3 +65,4 @@ pub use mlam_locking as locking;
 pub use mlam_netlist as netlist;
 pub use mlam_puf as puf;
 pub use mlam_sat as sat;
+pub use mlam_telemetry as telemetry;

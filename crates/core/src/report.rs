@@ -50,18 +50,59 @@ impl Table {
         &self.rows
     }
 
-    /// Renders as GitHub-flavored Markdown.
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column headers.
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// Renders as GitHub-flavored Markdown. Literal `|` in headers and
+    /// cells is escaped so it cannot break the column structure.
     pub fn to_markdown(&self) -> String {
+        let esc = |s: &String| s.replace('|', "\\|");
         let mut out = format!("### {}\n\n", self.title);
-        out.push_str(&format!("| {} |\n", self.header.join(" | ")));
+        out.push_str(&format!(
+            "| {} |\n",
+            self.header.iter().map(esc).collect::<Vec<_>>().join(" | ")
+        ));
         out.push_str(&format!(
             "|{}|\n",
-            self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.header
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         ));
         for row in &self.rows {
-            out.push_str(&format!("| {} |\n", row.join(" | ")));
+            out.push_str(&format!(
+                "| {} |\n",
+                row.iter().map(esc).collect::<Vec<_>>().join(" | ")
+            ));
         }
         out
+    }
+
+    /// The rows as JSON objects keyed by column header — the machine
+    /// companion of [`Table::to_markdown`] for `--json` output.
+    pub fn to_json_rows(&self) -> serde_json::Value {
+        serde_json::Value::Seq(
+            self.rows
+                .iter()
+                .map(|row| {
+                    serde_json::Value::Map(
+                        self.header
+                            .iter()
+                            .zip(row)
+                            .map(|(h, c)| (h.clone(), serde_json::Value::Str(c.clone())))
+                            .collect(),
+                    )
+                })
+                .collect(),
+        )
     }
 }
 
@@ -152,5 +193,44 @@ mod tests {
     #[should_panic(expected = "cell count mismatch")]
     fn wrong_row_width_panics() {
         Table::new("T", &["a", "b"]).row_display(&[1]);
+    }
+
+    #[test]
+    fn markdown_escapes_pipes_in_cells() {
+        let mut t = Table::new("T", &["expr", "n"]);
+        t.row_display(&["a|b", "3"]);
+        let md = t.to_markdown();
+        assert!(md.contains("| a\\|b | 3 |"), "{md}");
+        // The escaped cell must not add a column.
+        let data_line = md.lines().last().unwrap();
+        assert_eq!(data_line.matches(" | ").count(), 1);
+    }
+
+    #[test]
+    fn json_rows_key_cells_by_header() {
+        let mut t = Table::new("T", &["x", "y"]);
+        t.row_display(&["1", "a|b"]);
+        t.row_display(&["2", "c"]);
+        let json = serde_json::to_string(&t.to_json_rows()).unwrap();
+        let back: serde_json::Value = serde_json::from_str(&json).unwrap();
+        match back {
+            serde_json::Value::Seq(rows) => {
+                assert_eq!(rows.len(), 2);
+                match &rows[0] {
+                    serde_json::Value::Map(fields) => {
+                        assert_eq!(
+                            fields[0],
+                            ("x".to_string(), serde_json::Value::Str("1".into()))
+                        );
+                        assert_eq!(
+                            fields[1],
+                            ("y".to_string(), serde_json::Value::Str("a|b".into()))
+                        );
+                    }
+                    other => panic!("expected map row, got {other:?}"),
+                }
+            }
+            other => panic!("expected seq, got {other:?}"),
+        }
     }
 }

@@ -25,7 +25,11 @@ pub struct ParityStump {
 
 impl ParityStump {
     fn predict(&self, x: &BitVec) -> f64 {
-        let chi = if x.parity_masked(self.mask) { -1.0 } else { 1.0 };
+        let chi = if x.parity_masked(self.mask) {
+            -1.0
+        } else {
+            1.0
+        };
         self.polarity * chi
     }
 }
@@ -45,10 +49,7 @@ impl BoostedStumps {
 
     /// The real-valued margin `Σ α_t·h_t(x)`.
     pub fn margin(&self, x: &BitVec) -> f64 {
-        self.members
-            .iter()
-            .map(|(a, s)| a * s.predict(x))
-            .sum()
+        self.members.iter().map(|(a, s)| a * s.predict(x)).sum()
     }
 }
 
@@ -161,9 +162,7 @@ impl AdaBoost {
                     .filter(|((p, t), _)| **p != **t)
                     .map(|(_, w)| *w)
                     .sum();
-                for (polarity, err) in
-                    [(1.0, weighted_err_pos), (-1.0, 1.0 - weighted_err_pos)]
-                {
+                for (polarity, err) in [(1.0, weighted_err_pos), (-1.0, 1.0 - weighted_err_pos)] {
                     if best.map(|(_, _, be)| err < be).unwrap_or(true) {
                         best = Some((mi, polarity, err));
                     }
@@ -195,6 +194,7 @@ impl AdaBoost {
             }
         }
 
+        mlam_telemetry::counter!("learn.boosting.rounds", round_errors.len());
         let hypothesis = BoostedStumps { n, members };
         let training_accuracy = data.accuracy_of(&hypothesis);
         BoostOutcome {

@@ -199,12 +199,13 @@ mod tests {
         let small = LabeledSet::sample(&target, 1000, &mut rng);
         let large = LabeledSet::sample(&target, 8000, &mut rng);
         let test = LabeledSet::sample(&target, 4000, &mut rng);
-        let acc_small =
-            table_ii_procedure(&small, &test, ChowConfig::default(), 30).test_accuracy;
-        let acc_large =
-            table_ii_procedure(&large, &test, ChowConfig::default(), 30).test_accuracy;
+        let acc_small = table_ii_procedure(&small, &test, ChowConfig::default(), 30).test_accuracy;
+        let acc_large = table_ii_procedure(&large, &test, ChowConfig::default(), 30).test_accuracy;
         // More CRPs do NOT unlock parity for an LTF surrogate.
-        assert!(acc_small < 0.6 && acc_large < 0.6, "{acc_small} {acc_large}");
+        assert!(
+            acc_small < 0.6 && acc_large < 0.6,
+            "{acc_small} {acc_large}"
+        );
     }
 
     #[test]

@@ -111,6 +111,8 @@ impl CmaEs {
                 break;
             }
         }
+        mlam_telemetry::counter!("learn.cma_es.generations", generations);
+        mlam_telemetry::counter!("learn.cma_es.evaluations", evaluations);
         CmaEsResult {
             best,
             best_fitness,
@@ -119,12 +121,7 @@ impl CmaEs {
         }
     }
 
-    fn run_once<F, R>(
-        &self,
-        f: &F,
-        x0: &[f64],
-        rng: &mut R,
-    ) -> (Vec<f64>, f64, usize, usize)
+    fn run_once<F, R>(&self, f: &F, x0: &[f64], rng: &mut R) -> (Vec<f64>, f64, usize, usize)
     where
         F: Fn(&[f64]) -> f64,
         R: Rng + ?Sized,
@@ -150,8 +147,7 @@ impl CmaEs {
         let cc = (4.0 + mueff / dn) / (dn + 4.0 + 2.0 * mueff / dn);
         let cs = (mueff + 2.0) / (dn + mueff + 5.0);
         let c1 = 2.0 / ((dn + 1.3).powi(2) + mueff);
-        let cmu = (1.0 - c1)
-            .min(2.0 * (mueff - 2.0 + 1.0 / mueff) / ((dn + 2.0).powi(2) + mueff));
+        let cmu = (1.0 - c1).min(2.0 * (mueff - 2.0 + 1.0 / mueff) / ((dn + 2.0).powi(2) + mueff));
         let damps = 1.0 + 2.0 * (0.0f64).max(((mueff - 1.0) / (dn + 1.0)).sqrt() - 1.0) + cs;
         let chi_n = dn.sqrt() * (1.0 - 1.0 / (4.0 * dn) + 1.0 / (21.0 * dn * dn));
 
@@ -224,9 +220,7 @@ impl CmaEs {
                 *p = (1.0 - cs) * *p + cs_norm * c;
             }
             let ps_norm = ps.iter().map(|v| v * v).sum::<f64>().sqrt();
-            let hsig = ps_norm
-                / (1.0 - (1.0 - cs).powi(2 * (gen as i32 + 1))).sqrt()
-                / chi_n
+            let hsig = ps_norm / (1.0 - (1.0 - cs).powi(2 * (gen as i32 + 1))).sqrt() / chi_n
                 < 1.4 + 2.0 / (dn + 1.0);
 
             // Covariance path.
@@ -274,8 +268,7 @@ impl CmaEs {
                     for i in 0..d {
                         let mut s = 0.0;
                         for k in 0..d {
-                            s += eig_vecs[j * d + k] * eig_vecs[i * d + k]
-                                / eig_vals[k].sqrt();
+                            s += eig_vecs[j * d + k] * eig_vecs[i * d + k] / eig_vals[k].sqrt();
                         }
                         inv_sqrt[j * d + i] = s;
                     }
@@ -494,9 +487,7 @@ mod tests {
     #[test]
     fn minimizes_rosenbrock_2d() {
         let mut rng = StdRng::seed_from_u64(3);
-        let f = |x: &[f64]| {
-            100.0 * (x[1] - x[0] * x[0]).powi(2) + (1.0 - x[0]).powi(2)
-        };
+        let f = |x: &[f64]| 100.0 * (x[1] - x[0] * x[0]).powi(2) + (1.0 - x[0]).powi(2);
         let r = CmaEs::new(CmaEsOptions {
             max_generations: 800,
             restarts: 2,
@@ -549,7 +540,11 @@ mod tests {
             },
             &mut rng,
         );
-        assert!(result.best_fitness <= 0.05, "fitness {}", result.best_fitness);
+        assert!(
+            result.best_fitness <= 0.05,
+            "fitness {}",
+            result.best_fitness
+        );
         let test = LabeledSet::sample(&target, 500, &mut rng);
         assert!(test.accuracy_of(&model) > 0.9);
     }

@@ -28,7 +28,10 @@ pub struct LabeledSet {
 impl LabeledSet {
     /// Creates an empty set over `n`-bit inputs.
     pub fn new(n: usize) -> Self {
-        LabeledSet { n, items: Vec::new() }
+        LabeledSet {
+            n,
+            items: Vec::new(),
+        }
     }
 
     /// Wraps existing labeled pairs.
@@ -109,11 +112,7 @@ impl LabeledSet {
     /// Panics if the set is empty.
     pub fn accuracy_of<H: BooleanFunction + ?Sized>(&self, h: &H) -> f64 {
         assert!(!self.is_empty(), "accuracy over an empty set");
-        let correct = self
-            .items
-            .iter()
-            .filter(|(x, y)| h.eval(x) == *y)
-            .count();
+        let correct = self.items.iter().filter(|(x, y)| h.eval(x) == *y).count();
         correct as f64 / self.items.len() as f64
     }
 
@@ -140,7 +139,11 @@ impl LabeledSet {
     }
 
     /// Randomly splits into `(train, test)`.
-    pub fn split<R: Rng + ?Sized>(&self, train_fraction: f64, rng: &mut R) -> (LabeledSet, LabeledSet) {
+    pub fn split<R: Rng + ?Sized>(
+        &self,
+        train_fraction: f64,
+        rng: &mut R,
+    ) -> (LabeledSet, LabeledSet) {
         assert!((0.0..=1.0).contains(&train_fraction));
         let mut idx: Vec<usize> = (0..self.items.len()).collect();
         for i in (1..idx.len()).rev() {
@@ -151,8 +154,14 @@ impl LabeledSet {
         let train = idx[..cut].iter().map(|&i| self.items[i].clone()).collect();
         let test = idx[cut..].iter().map(|&i| self.items[i].clone()).collect();
         (
-            LabeledSet { n: self.n, items: train },
-            LabeledSet { n: self.n, items: test },
+            LabeledSet {
+                n: self.n,
+                items: train,
+            },
+            LabeledSet {
+                n: self.n,
+                items: test,
+            },
         )
     }
 

@@ -12,8 +12,7 @@ use rand::Rng;
 use std::fmt;
 
 /// A sampleable distribution over `{0,1}^n`.
-#[derive(Clone, Debug, PartialEq)]
-#[derive(Default)]
+#[derive(Clone, Debug, PartialEq, Default)]
 pub enum ChallengeDistribution {
     /// The uniform distribution — what hardware papers mean by "random".
     #[default]
@@ -82,12 +81,7 @@ impl ChallengeDistribution {
     }
 
     /// Samples `count` challenges.
-    pub fn sample_many<R: Rng + ?Sized>(
-        &self,
-        n: usize,
-        count: usize,
-        rng: &mut R,
-    ) -> Vec<BitVec> {
+    pub fn sample_many<R: Rng + ?Sized>(&self, n: usize, count: usize, rng: &mut R) -> Vec<BitVec> {
         (0..count).map(|_| self.sample(n, rng)).collect()
     }
 
@@ -97,7 +91,6 @@ impl ChallengeDistribution {
         matches!(self, ChallengeDistribution::Uniform)
     }
 }
-
 
 impl fmt::Display for ChallengeDistribution {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -113,10 +113,7 @@ mod tests {
             &mut rng,
         );
         assert_eq!(curve.len(), 3);
-        assert!(
-            curve[2].test_accuracy > curve[0].test_accuracy,
-            "{curve:?}"
-        );
+        assert!(curve[2].test_accuracy > curve[0].test_accuracy, "{curve:?}");
         assert!(curve[2].test_accuracy > 0.9);
     }
 

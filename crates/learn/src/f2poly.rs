@@ -16,9 +16,7 @@
 //! [`learn_anf_adaptive`] wraps it in a Schapire–Sellie-style loop that
 //! raises the degree until a (simulated) equivalence query accepts.
 
-use crate::oracle::{
-    simulate_equivalence, EquivalenceResult, ExampleOracle, MembershipOracle,
-};
+use crate::oracle::{simulate_equivalence, EquivalenceResult, ExampleOracle, MembershipOracle};
 use mlam_boolean::{Anf, BitVec, SubsetsUpTo};
 use rand::Rng;
 use std::collections::HashMap;
@@ -289,6 +287,9 @@ mod tests {
         });
         let oracle = FunctionOracle::uniform(&f);
         let out = learn_anf_adaptive(&oracle, 3, 400, &mut rng);
-        assert!(!out.accepted, "degree-5 target must be rejected at degree <= 3");
+        assert!(
+            !out.accepted,
+            "degree-5 target must be rejected at degree <= 3"
+        );
     }
 }

@@ -68,11 +68,7 @@ impl BooleanFunction for JuntaHypothesis {
 /// # Panics
 ///
 /// Panics if `attempts == 0`.
-pub fn find_relevant_variables<O, R>(
-    oracle: &O,
-    attempts: usize,
-    rng: &mut R,
-) -> Vec<usize>
+pub fn find_relevant_variables<O, R>(oracle: &O, attempts: usize, rng: &mut R) -> Vec<usize>
 where
     O: MembershipOracle,
     R: Rng + ?Sized,
@@ -97,9 +93,7 @@ where
         }
         // Binary search over the hybrid path: walk positions where x
         // and y differ, flipping half of them at a time.
-        let diff: Vec<usize> = (0..n)
-            .filter(|&i| x.get(i) != y.get(i))
-            .collect();
+        let diff: Vec<usize> = (0..n).filter(|&i| x.get(i) != y.get(i)).collect();
         let var = isolate(oracle, &x, &diff, fx);
         if !relevant.contains(&var) {
             relevant.push(var);
@@ -115,12 +109,7 @@ where
 /// Given `f(x) = fx` and `f(x ⊕ diff) ≠ fx`, isolates one variable in
 /// `diff` whose flip changes the response, with `O(log |diff|)`
 /// membership queries.
-fn isolate<O: MembershipOracle>(
-    oracle: &O,
-    x: &BitVec,
-    diff: &[usize],
-    fx: bool,
-) -> usize {
+fn isolate<O: MembershipOracle>(oracle: &O, x: &BitVec, diff: &[usize], fx: bool) -> usize {
     debug_assert!(!diff.is_empty());
     let mut base = x.clone();
     let mut remaining = diff;
@@ -204,9 +193,7 @@ mod tests {
     #[test]
     fn finds_the_variables_of_a_three_junta() {
         let mut rng = StdRng::seed_from_u64(1);
-        let f = FnFunction::new(32, |x: &BitVec| {
-            (x.get(3) & x.get(17)) ^ x.get(29)
-        });
+        let f = FnFunction::new(32, |x: &BitVec| (x.get(3) & x.get(17)) ^ x.get(29));
         let oracle = FunctionOracle::uniform(&f);
         let vars = find_relevant_variables(&oracle, 60, &mut rng);
         assert_eq!(vars, vec![3, 17, 29]);
@@ -215,9 +202,7 @@ mod tests {
     #[test]
     fn learns_the_junta_exactly() {
         let mut rng = StdRng::seed_from_u64(2);
-        let f = FnFunction::new(24, |x: &BitVec| {
-            x.get(5) ^ (x.get(11) & !x.get(20))
-        });
+        let f = FnFunction::new(24, |x: &BitVec| x.get(5) ^ (x.get(11) & !x.get(20)));
         let oracle = FunctionOracle::uniform(&f);
         let out = learn_junta(&oracle, 60, &mut rng);
         assert_eq!(out.hypothesis.variables(), &[5, 11, 20]);

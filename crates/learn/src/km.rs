@@ -135,8 +135,16 @@ where
                 nodes_expanded += 1;
                 let mut sum = 0.0;
                 for &(x, x2, fab) in &level_sample {
-                    let chi_a = if (x & s).count_ones() % 2 == 1 { -1.0 } else { 1.0 };
-                    let chi_b = if (x2 & s).count_ones() % 2 == 1 { -1.0 } else { 1.0 };
+                    let chi_a = if (x & s).count_ones() % 2 == 1 {
+                        -1.0
+                    } else {
+                        1.0
+                    };
+                    let chi_b = if (x2 & s).count_ones() % 2 == 1 {
+                        -1.0
+                    } else {
+                        1.0
+                    };
                     sum += fab * chi_a * chi_b;
                 }
                 let w = sum / level_sample.len() as f64;
@@ -217,7 +225,10 @@ mod tests {
         let out = km_learn(&oracle, KmConfig::new(0.35), &mut rng);
         let masks: Vec<u64> = out.hypothesis.terms().iter().map(|t| t.0).collect();
         for expected in [1u64 << 1, 1 << 4, 1 << 8, (1 << 1) | (1 << 4) | (1 << 8)] {
-            assert!(masks.contains(&expected), "missing mask {expected:b}: {masks:?}");
+            assert!(
+                masks.contains(&expected),
+                "missing mask {expected:b}: {masks:?}"
+            );
         }
     }
 

@@ -126,6 +126,7 @@ pub fn lstar_learn<T: DfaTeacher>(teacher: &mut T, max_rounds: usize) -> LstarOu
             let mut w = row.to_vec();
             w.extend_from_slice(col);
             let v = teacher.member(&w);
+            mlam_telemetry::counter!("learn.lstar.membership_queries", 1);
             entry.push(v);
         }
     }
@@ -232,6 +233,7 @@ pub fn lstar_learn<T: DfaTeacher>(teacher: &mut T, max_rounds: usize) -> LstarOu
         let hypothesis = Dfa::new(k, transitions, accepting);
 
         equivalence_queries += 1;
+        mlam_telemetry::counter!("learn.lstar.equivalence_queries", 1);
         match teacher.equivalent(&hypothesis) {
             None => {
                 return LstarOutcome {
@@ -315,12 +317,7 @@ mod tests {
         // states: 0=start, 1=saw 2, 2=saw 2,0, 3=unlocked(sink).
         let target = Dfa::new(
             3,
-            vec![
-                vec![0, 0, 1],
-                vec![2, 0, 1],
-                vec![0, 3, 1],
-                vec![3, 3, 3],
-            ],
+            vec![vec![0, 0, 1], vec![2, 0, 1], vec![0, 3, 1], vec![3, 3, 3]],
             vec![false, false, false, true],
         );
         let (out, teacher) = learn(target.clone());

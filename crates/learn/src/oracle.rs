@@ -18,8 +18,9 @@
 
 use crate::distribution::ChallengeDistribution;
 use mlam_boolean::{BitVec, BooleanFunction};
+use mlam_telemetry::counter;
 use rand::Rng;
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Source of labeled examples `(x, f(x))` from a fixed distribution.
 pub trait ExampleOracle {
@@ -74,7 +75,9 @@ pub enum EquivalenceResult {
 pub struct FunctionOracle<'a, F: ?Sized> {
     target: &'a F,
     distribution: ChallengeDistribution,
-    queries: Cell<u64>,
+    // Atomic (not Cell) so the oracle is Sync and can be shared across
+    // attack threads; ordering is Relaxed because only totals matter.
+    queries: AtomicU64,
 }
 
 impl<'a, F: BooleanFunction + ?Sized> FunctionOracle<'a, F> {
@@ -88,7 +91,7 @@ impl<'a, F: BooleanFunction + ?Sized> FunctionOracle<'a, F> {
         FunctionOracle {
             target,
             distribution,
-            queries: Cell::new(0),
+            queries: AtomicU64::new(0),
         }
     }
 
@@ -100,16 +103,16 @@ impl<'a, F: BooleanFunction + ?Sized> FunctionOracle<'a, F> {
     /// Total number of oracle invocations so far (examples + membership
     /// queries + equivalence-simulation samples).
     pub fn queries_used(&self) -> u64 {
-        self.queries.get()
+        self.queries.load(Ordering::Relaxed)
     }
 
     /// Resets the query counter.
     pub fn reset_queries(&self) {
-        self.queries.set(0);
+        self.queries.store(0, Ordering::Relaxed);
     }
 
     fn count(&self) {
-        self.queries.set(self.queries.get() + 1);
+        self.queries.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -120,6 +123,7 @@ impl<F: BooleanFunction + ?Sized> ExampleOracle for FunctionOracle<'_, F> {
 
     fn example<R: Rng + ?Sized>(&self, rng: &mut R) -> (BitVec, bool) {
         self.count();
+        counter!("oracle.example_queries", 1);
         let x = self.distribution.sample(self.target.num_inputs(), rng);
         let y = self.target.eval(&x);
         (x, y)
@@ -133,6 +137,7 @@ impl<F: BooleanFunction + ?Sized> MembershipOracle for FunctionOracle<'_, F> {
 
     fn query(&self, x: &BitVec) -> bool {
         self.count();
+        counter!("oracle.membership_queries", 1);
         self.target.eval(x)
     }
 }
@@ -155,6 +160,7 @@ where
     H: BooleanFunction + ?Sized,
     R: Rng + ?Sized,
 {
+    counter!("oracle.equivalence_queries", 1);
     for _ in 0..budget {
         let (x, y) = oracle.example(rng);
         if hypothesis.eval(&x) != y {
@@ -233,6 +239,28 @@ mod tests {
     }
 
     #[test]
+    fn oracle_is_send_and_sync() {
+        fn assert_sync<T: Send + Sync>() {}
+        assert_sync::<FunctionOracle<'_, FnFunction<fn(&BitVec) -> bool>>>();
+    }
+
+    #[test]
+    fn oracle_counts_concurrently() {
+        let f = majority(5);
+        let oracle = FunctionOracle::uniform(&f);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..250 {
+                        oracle.query(&BitVec::ones(5));
+                    }
+                });
+            }
+        });
+        assert_eq!(oracle.queries_used(), 1000);
+    }
+
+    #[test]
     fn equivalence_budget_formula() {
         // ln(1/0.01)/0.1 = 46.05... -> 47
         assert_eq!(equivalence_budget(0.1, 0.01), 47);
@@ -243,10 +271,8 @@ mod tests {
     fn biased_oracle_draws_from_its_distribution() {
         let mut rng = StdRng::seed_from_u64(4);
         let f = majority(64);
-        let oracle = FunctionOracle::with_distribution(
-            &f,
-            ChallengeDistribution::ProductBiased(0.9),
-        );
+        let oracle =
+            FunctionOracle::with_distribution(&f, ChallengeDistribution::ProductBiased(0.9));
         let examples = oracle.examples(200, &mut rng);
         let ones: u32 = examples.iter().map(|(x, _)| x.count_ones()).sum();
         let density = ones as f64 / (64.0 * 200.0);

@@ -14,7 +14,7 @@ use crate::combinational::LockedNetlist;
 use crate::sat_attack::encode_copy;
 use mlam_boolean::BitVec;
 use mlam_netlist::Netlist;
-use mlam_sat::{Lit, SatResult, Solver, Var};
+use mlam_sat::{Lit, SatResult, Solver, SolverStats, Var};
 use rand::Rng;
 
 /// Configuration of AppSAT.
@@ -58,6 +58,9 @@ pub struct AppSatResult {
     pub settled_early: bool,
     /// Empirical accuracy of the returned key on fresh random inputs.
     pub estimated_accuracy: f64,
+    /// Full solver statistics accumulated over the miter and the
+    /// key-consistency solver.
+    pub solver_stats: SolverStats,
 }
 
 /// Runs AppSAT against `locked` with `oracle` as the activated chip.
@@ -96,6 +99,7 @@ pub fn appsat<R: Rng + ?Sized>(
     let mut keysolver = Solver::new();
     let (_ki, keyvars, _ko) = encode_copy(locked, &mut keysolver);
 
+    let _span = mlam_telemetry::span("locking.appsat").attr("key_bits", locked.num_key_bits());
     let mut dip_iterations = 0usize;
     let mut random_queries = 0usize;
     let mut consecutive_settled = 0usize;
@@ -107,6 +111,7 @@ pub fn appsat<R: Rng + ?Sized>(
             match miter.solve() {
                 SatResult::Sat(model) => {
                     dip_iterations += 1;
+                    mlam_telemetry::counter!("locking.appsat.dips", 1);
                     let dip: Vec<bool> = in1.iter().map(|v| model.value(*v)).collect();
                     let response = oracle.simulate(&dip);
                     crate::sat_attack::add_io_constraint(
@@ -116,7 +121,11 @@ pub fn appsat<R: Rng + ?Sized>(
                         locked, &mut miter, &key2, &dip, &response,
                     );
                     crate::sat_attack::add_io_constraint(
-                        locked, &mut keysolver, &keyvars, &dip, &response,
+                        locked,
+                        &mut keysolver,
+                        &keyvars,
+                        &dip,
+                        &response,
                     );
                 }
                 SatResult::Unsat => {
@@ -143,15 +152,9 @@ pub fn appsat<R: Rng + ?Sized>(
             }
         }
         for (x, response) in &round_queries {
-            crate::sat_attack::add_io_constraint(
-                locked, &mut miter, &key1, x, response,
-            );
-            crate::sat_attack::add_io_constraint(
-                locked, &mut miter, &key2, x, response,
-            );
-            crate::sat_attack::add_io_constraint(
-                locked, &mut keysolver, &keyvars, x, response,
-            );
+            crate::sat_attack::add_io_constraint(locked, &mut miter, &key1, x, response);
+            crate::sat_attack::add_io_constraint(locked, &mut miter, &key2, x, response);
+            crate::sat_attack::add_io_constraint(locked, &mut keysolver, &keyvars, x, response);
         }
         let err_rate = errors as f64 / config.queries_per_round as f64;
         if err_rate <= config.error_threshold {
@@ -166,12 +169,16 @@ pub fn appsat<R: Rng + ?Sized>(
 
     let key = extract_key(&mut keysolver, &keyvars, locked.num_key_bits());
     let estimated_accuracy = locked.key_accuracy(oracle, &key, 2000, rng);
+    mlam_telemetry::counter!("locking.appsat.random_queries", random_queries);
+    let mut solver_stats = miter.stats();
+    solver_stats.accumulate(&keysolver.stats());
     AppSatResult {
         key,
         dip_iterations,
         random_queries,
         settled_early: !exact,
         estimated_accuracy,
+        solver_stats,
     }
 }
 

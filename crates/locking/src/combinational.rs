@@ -332,10 +332,7 @@ mod tests {
         let orig = c17();
         let locked = lock_xor(&orig, 4, &mut rng);
         assert_eq!(locked.netlist().num_gates(), orig.num_gates() + 4);
-        assert_eq!(
-            locked.netlist().num_inputs(),
-            orig.num_inputs() + 4
-        );
+        assert_eq!(locked.netlist().num_inputs(), orig.num_inputs() + 4);
     }
 
     #[test]

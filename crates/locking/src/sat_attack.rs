@@ -14,7 +14,7 @@
 use crate::combinational::LockedNetlist;
 use mlam_boolean::BitVec;
 use mlam_netlist::{cnf::tseitin_encode, Cnf, Netlist};
-use mlam_sat::{Lit, SatResult, Solver, Var};
+use mlam_sat::{Lit, SatResult, Solver, SolverStats, Var};
 
 /// Configuration of the SAT attack.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -47,6 +47,9 @@ pub struct SatAttackResult {
     pub key_is_functionally_correct: bool,
     /// Total SAT conflicts across all solver calls.
     pub sat_conflicts: u64,
+    /// Full solver statistics accumulated over the miter and the
+    /// key-consistency solver.
+    pub solver_stats: SolverStats,
 }
 
 /// Helper bundling a CNF buffer and its solver-variable offset: our CNF
@@ -173,6 +176,7 @@ pub fn sat_attack(
     let mut keysolver = Solver::new();
     let (_kin, keyvars, _kout) = encode_copy(locked, &mut keysolver);
 
+    let _span = mlam_telemetry::span("locking.sat_attack").attr("key_bits", locked.num_key_bits());
     let mut iterations = 0usize;
     loop {
         assert!(
@@ -183,6 +187,7 @@ pub fn sat_attack(
         match miter.solve() {
             SatResult::Sat(model) => {
                 iterations += 1;
+                mlam_telemetry::counter!("locking.sat_attack.dips", 1);
                 let dip: Vec<bool> = in1.iter().map(|v| model.value(*v)).collect();
                 let response = oracle.simulate(&dip);
                 // Prune the miter: both key copies must reproduce it.
@@ -217,11 +222,14 @@ pub fn sat_attack(
         locked.equivalent_under_key_formal(oracle, &key)
     };
 
+    let mut solver_stats = miter.stats();
+    solver_stats.accumulate(&keysolver.stats());
     SatAttackResult {
         key,
         iterations,
         key_is_functionally_correct,
-        sat_conflicts: miter.stats().conflicts + keysolver.stats().conflicts,
+        sat_conflicts: solver_stats.conflicts,
+        solver_stats,
     }
 }
 

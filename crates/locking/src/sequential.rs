@@ -93,7 +93,11 @@ impl Fsm {
 
     /// The equivalent DFA view (acceptance = output bit).
     pub fn to_dfa(&self) -> Dfa {
-        Dfa::new(self.alphabet, self.transitions.clone(), self.outputs.clone())
+        Dfa::new(
+            self.alphabet,
+            self.transitions.clone(),
+            self.outputs.clone(),
+        )
     }
 }
 
@@ -122,7 +126,10 @@ impl ObfuscatedFsm {
     /// Panics if the sequence is empty or contains out-of-alphabet
     /// symbols.
     pub fn new(functional: Fsm, unlock_sequence: Vec<usize>) -> Self {
-        assert!(!unlock_sequence.is_empty(), "unlock sequence must be non-empty");
+        assert!(
+            !unlock_sequence.is_empty(),
+            "unlock sequence must be non-empty"
+        );
         let k = functional.alphabet_size();
         assert!(
             unlock_sequence.iter().all(|&s| s < k),
@@ -203,8 +210,7 @@ pub fn lstar_attack(target: &ObfuscatedFsm) -> SequentialAttackResult {
     let mut teacher = ExactDfaTeacher::new(target.combined().to_dfa());
     let lstar = lstar_learn(&mut teacher, 10_000);
     let membership_queries = teacher.membership_queries;
-    let unlock_sequence =
-        recover_unlock_sequence(&lstar.dfa, &target.functional().to_dfa());
+    let unlock_sequence = recover_unlock_sequence(&lstar.dfa, &target.functional().to_dfa());
     SequentialAttackResult {
         lstar,
         membership_queries,
@@ -331,8 +337,8 @@ mod tests {
         assert!(!m.output(&[]));
         assert!(!m.output(&[0, 0, 0]));
         assert!(!m.output(&[1, 0])); // partial unlock
-        // After the unlock sequence the machine behaves functionally:
-        // unlock [1,0,1] then toggle once -> state 1 -> output true.
+                                     // After the unlock sequence the machine behaves functionally:
+                                     // unlock [1,0,1] then toggle once -> state 1 -> output true.
         assert!(m.output(&[1, 0, 1, 1]));
         assert!(!m.output(&[1, 0, 1, 1, 1]));
     }

@@ -145,10 +145,7 @@ impl BddManager {
         if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
             return r;
         }
-        let v = self
-            .top_var(f)
-            .min(self.top_var(g))
-            .min(self.top_var(h));
+        let v = self.top_var(f).min(self.top_var(g)).min(self.top_var(h));
         let (f0, f1) = self.cofactors(f, v);
         let (g0, g1) = self.cofactors(g, v);
         let (h0, h1) = self.cofactors(h, v);
@@ -223,8 +220,7 @@ impl BddManager {
                     return c << skipped;
                 }
                 let n = mgr.nodes[f.0 as usize];
-                let c = count(mgr, n.low, top + 1, memo)
-                    + count(mgr, n.high, top + 1, memo);
+                let c = count(mgr, n.low, top + 1, memo) + count(mgr, n.high, top + 1, memo);
                 memo.insert((f, top), c);
                 c
             };
@@ -268,31 +264,19 @@ impl BddManager {
         for gate in netlist.gates() {
             let ins: Vec<BddRef> = gate.inputs.iter().map(|n| refs[n.index()]).collect();
             let out = match gate.kind {
-                GateKind::And => ins
-                    .iter()
-                    .skip(1)
-                    .fold(ins[0], |acc, &b| self.and(acc, b)),
+                GateKind::And => ins.iter().skip(1).fold(ins[0], |acc, &b| self.and(acc, b)),
                 GateKind::Or => ins.iter().skip(1).fold(ins[0], |acc, &b| self.or(acc, b)),
                 GateKind::Nand => {
-                    let a = ins
-                        .iter()
-                        .skip(1)
-                        .fold(ins[0], |acc, &b| self.and(acc, b));
+                    let a = ins.iter().skip(1).fold(ins[0], |acc, &b| self.and(acc, b));
                     self.not(a)
                 }
                 GateKind::Nor => {
                     let a = ins.iter().skip(1).fold(ins[0], |acc, &b| self.or(acc, b));
                     self.not(a)
                 }
-                GateKind::Xor => ins
-                    .iter()
-                    .skip(1)
-                    .fold(ins[0], |acc, &b| self.xor(acc, b)),
+                GateKind::Xor => ins.iter().skip(1).fold(ins[0], |acc, &b| self.xor(acc, b)),
                 GateKind::Xnor => {
-                    let a = ins
-                        .iter()
-                        .skip(1)
-                        .fold(ins[0], |acc, &b| self.xor(acc, b));
+                    let a = ins.iter().skip(1).fold(ins[0], |acc, &b| self.xor(acc, b));
                     self.not(a)
                 }
                 GateKind::Not => self.not(ins[0]),

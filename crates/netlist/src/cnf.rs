@@ -218,9 +218,7 @@ mod tests {
         let mut cnf = Cnf::new(0);
         let enc = tseitin_encode(netlist, &mut cnf);
         for v in 0..(1u64 << netlist.num_inputs()) {
-            let bits: Vec<bool> = (0..netlist.num_inputs())
-                .map(|i| v >> i & 1 == 1)
-                .collect();
+            let bits: Vec<bool> = (0..netlist.num_inputs()).map(|i| v >> i & 1 == 1).collect();
             let net_values = netlist.simulate_nets(&bits);
             // Build the full assignment: every CNF var that corresponds
             // to a net takes the simulated value; Tseitin-internal vars

@@ -24,7 +24,10 @@ pub fn random_circuit<R: Rng + ?Sized>(
 ) -> Netlist {
     assert!(num_inputs > 0, "need at least one input");
     assert!(num_outputs > 0, "need at least one output");
-    assert!(num_gates >= num_outputs, "need at least one gate per output");
+    assert!(
+        num_gates >= num_outputs,
+        "need at least one gate per output"
+    );
     let kinds = [
         GateKind::And,
         GateKind::Or,
@@ -94,8 +97,16 @@ pub fn ac0_circuit<R: Rng + ?Sized>(
 
     let mut layer_width = width;
     for level in 0..depth {
-        let kind = if level % 2 == 0 { GateKind::And } else { GateKind::Or };
-        let this_width = if level + 1 == depth { 1 } else { layer_width.max(1) };
+        let kind = if level % 2 == 0 {
+            GateKind::And
+        } else {
+            GateKind::Or
+        };
+        let this_width = if level + 1 == depth {
+            1
+        } else {
+            layer_width.max(1)
+        };
         let fan_in = prev.len().clamp(2, 4);
         let mut layer = Vec::with_capacity(this_width);
         for _ in 0..this_width {
@@ -200,13 +211,7 @@ pub fn parity_tree(width: usize) -> Netlist {
 /// The ISCAS-85 c17 benchmark: 5 inputs, 2 outputs, 6 NAND gates.
 pub fn c17() -> Netlist {
     let mut b = Netlist::builder(5, 2);
-    let (i1, i2, i3, i4, i5) = (
-        b_input(0),
-        b_input(1),
-        b_input(2),
-        b_input(3),
-        b_input(4),
-    );
+    let (i1, i2, i3, i4, i5) = (b_input(0), b_input(1), b_input(2), b_input(3), b_input(4));
     let g1 = b.gate(GateKind::Nand, vec![i1, i3]);
     let g2 = b.gate(GateKind::Nand, vec![i3, i4]);
     let g3 = b.gate(GateKind::Nand, vec![i2, g2]);

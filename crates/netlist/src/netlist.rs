@@ -226,7 +226,10 @@ impl Netlist {
     pub fn equivalent_exhaustive(&self, other: &Netlist) -> bool {
         assert_eq!(self.num_inputs, other.num_inputs, "input width mismatch");
         assert_eq!(self.num_outputs(), other.num_outputs(), "output count");
-        assert!(self.num_inputs <= 20, "exhaustive check limited to 20 inputs");
+        assert!(
+            self.num_inputs <= 20,
+            "exhaustive check limited to 20 inputs"
+        );
         for v in 0..(1u64 << self.num_inputs) {
             let bits: Vec<bool> = (0..self.num_inputs).map(|i| v >> i & 1 == 1).collect();
             if self.simulate(&bits) != other.simulate(&bits) {

@@ -160,8 +160,7 @@ impl BistableRingPuf {
                 && config.noise_sigma >= 0.0,
             "config fields must be non-negative"
         );
-        let strengths: Vec<[f64; 2]> =
-            (0..n).map(|_| [gaussian(rng), gaussian(rng)]).collect();
+        let strengths: Vec<[f64; 2]> = (0..n).map(|_| [gaussian(rng), gaussian(rng)]).collect();
         let couplings: Vec<f64> = (0..n)
             .map(|_| config.pair_strength * gaussian(rng))
             .collect();
@@ -248,11 +247,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn sample_crps(
-        puf: &BistableRingPuf,
-        m: usize,
-        rng: &mut StdRng,
-    ) -> Vec<(BitVec, bool)> {
+    fn sample_crps(puf: &BistableRingPuf, m: usize, rng: &mut StdRng) -> Vec<(BitVec, bool)> {
         (0..m)
             .map(|_| {
                 let c = BitVec::random(puf.num_inputs(), rng);
@@ -269,11 +264,8 @@ mod tests {
         let train = sample_crps(&puf, 2000, &mut rng);
         let fit = pocket_perceptron(16, &train, None, 50);
         let test = sample_crps(&puf, 2000, &mut rng);
-        let agree = test
-            .iter()
-            .filter(|(c, r)| fit.eval(c) == *r)
-            .count() as f64
-            / test.len() as f64;
+        let agree =
+            test.iter().filter(|(c, r)| fit.eval(c) == *r).count() as f64 / test.len() as f64;
         assert!(agree > 0.95, "linear BR PUF should be ≈LTF, got {agree}");
     }
 
@@ -285,11 +277,8 @@ mod tests {
         let chow = ChowParameters::from_data(64, &train);
         let fit = pocket_perceptron(64, &train, Some(chow.to_ltf()), 20);
         let test = sample_crps(&puf, 4000, &mut rng);
-        let agree = test
-            .iter()
-            .filter(|(c, r)| fit.eval(c) == *r)
-            .count() as f64
-            / test.len() as f64;
+        let agree =
+            test.iter().filter(|(c, r)| fit.eval(c) == *r).count() as f64 / test.len() as f64;
         assert!(
             agree < 0.95,
             "calibrated 64-bit BR PUF must not be LTF-learnable to >95 %, got {agree}"
@@ -302,7 +291,10 @@ mod tests {
         let puf = BistableRingPuf::sample(32, BrPufConfig::calibrated(32), &mut rng);
         let crps = sample_crps(&puf, 500, &mut rng);
         let ones = crps.iter().filter(|(_, r)| *r).count();
-        assert!(ones > 50 && ones < 450, "degenerate response bias: {ones}/500");
+        assert!(
+            ones > 50 && ones < 450,
+            "degenerate response bias: {ones}/500"
+        );
     }
 
     #[test]
@@ -344,8 +336,7 @@ mod tests {
     #[test]
     fn calibrated_strengths_increase_with_n() {
         assert!(
-            BrPufConfig::calibrated(16).pair_strength
-                < BrPufConfig::calibrated(64).pair_strength
+            BrPufConfig::calibrated(16).pair_strength < BrPufConfig::calibrated(64).pair_strength
         );
     }
 }

@@ -55,10 +55,8 @@ impl CorrelatedXorArbiterPuf {
         let base: Vec<f64> = (0..=n).map(|_| gaussian(rng)).collect();
         let chains = (0..k)
             .map(|_| {
-                let weights: Vec<f64> = base
-                    .iter()
-                    .map(|b| b + deviation * gaussian(rng))
-                    .collect();
+                let weights: Vec<f64> =
+                    base.iter().map(|b| b + deviation * gaussian(rng)).collect();
                 ArbiterPuf::from_weights(weights, noise_sigma)
             })
             .collect();

@@ -56,7 +56,10 @@ pub struct CrpSet {
 impl CrpSet {
     /// Creates an empty set for `n`-bit challenges.
     pub fn new(n: usize) -> Self {
-        CrpSet { n, crps: Vec::new() }
+        CrpSet {
+            n,
+            crps: Vec::new(),
+        }
     }
 
     /// Builds a set from parts.
@@ -141,17 +144,17 @@ impl CrpSet {
             idx.swap(i, j);
         }
         let cut = (self.crps.len() as f64 * train_fraction).round() as usize;
-        let train = idx[..cut]
-            .iter()
-            .map(|&i| self.crps[i].clone())
-            .collect();
-        let test = idx[cut..]
-            .iter()
-            .map(|&i| self.crps[i].clone())
-            .collect();
+        let train = idx[..cut].iter().map(|&i| self.crps[i].clone()).collect();
+        let test = idx[cut..].iter().map(|&i| self.crps[i].clone()).collect();
         (
-            CrpSet { n: self.n, crps: train },
-            CrpSet { n: self.n, crps: test },
+            CrpSet {
+                n: self.n,
+                crps: train,
+            },
+            CrpSet {
+                n: self.n,
+                crps: test,
+            },
         )
     }
 
@@ -214,11 +217,7 @@ impl<'de> Deserialize<'de> for CrpSet {
 
 /// Collects `count` CRPs at uniformly random challenges using **ideal**
 /// (noise-free) evaluations.
-pub fn collect_uniform<P: PufModel, R: Rng + ?Sized>(
-    puf: &P,
-    count: usize,
-    rng: &mut R,
-) -> CrpSet {
+pub fn collect_uniform<P: PufModel, R: Rng + ?Sized>(puf: &P, count: usize, rng: &mut R) -> CrpSet {
     let n = puf.challenge_bits();
     let mut set = CrpSet::new(n);
     for _ in 0..count {
@@ -231,11 +230,7 @@ pub fn collect_uniform<P: PufModel, R: Rng + ?Sized>(
 
 /// Collects `count` CRPs with **noisy** single-shot evaluations — the
 /// raw data an attacker without repeated-measurement access sees.
-pub fn collect_noisy<P: PufModel, R: Rng + ?Sized>(
-    puf: &P,
-    count: usize,
-    rng: &mut R,
-) -> CrpSet {
+pub fn collect_noisy<P: PufModel, R: Rng + ?Sized>(puf: &P, count: usize, rng: &mut R) -> CrpSet {
     let n = puf.challenge_bits();
     let mut set = CrpSet::new(n);
     for _ in 0..count {
@@ -277,9 +272,7 @@ pub fn collect_stable<P: PufModel, R: Rng + ?Sized>(
     while set.len() < count && attempts < count.saturating_mul(10) {
         attempts += 1;
         let c = BitVec::random(n, rng);
-        let ones = (0..repeats)
-            .filter(|_| puf.eval_noisy(&c, rng))
-            .count();
+        let ones = (0..repeats).filter(|_| puf.eval_noisy(&c, rng)).count();
         let majority = ones * 2 >= repeats;
         let agree = if majority { ones } else { repeats - ones };
         if agree as f64 / repeats as f64 >= stability {

@@ -102,8 +102,7 @@ impl BooleanFunction for InterposePuf {
 impl PufModel for InterposePuf {
     fn eval_noisy<R: Rng + ?Sized>(&self, challenge: &BitVec, rng: &mut R) -> bool {
         let r_up = self.upper.eval_noisy(challenge, rng);
-        self.lower
-            .eval_noisy(&self.interpose(challenge, r_up), rng)
+        self.lower.eval_noisy(&self.interpose(challenge, r_up), rng)
     }
 }
 
@@ -202,9 +201,7 @@ mod tests {
             }
             let err = data
                 .iter()
-                .filter(|(phi, t)| {
-                    phi.iter().zip(&w).map(|(a, b)| a * b).sum::<f64>() * t <= 0.0
-                })
+                .filter(|(phi, t)| phi.iter().zip(&w).map(|(a, b)| a * b).sum::<f64>() * t <= 0.0)
                 .count();
             best_err = best_err.min(err);
             if mistakes == 0 {
@@ -212,7 +209,10 @@ mod tests {
             }
         }
         let acc = 1.0 - best_err as f64 / data.len() as f64;
-        assert!(acc < 0.95, "single-LTF model must not crack the iPUF: {acc}");
+        assert!(
+            acc < 0.95,
+            "single-LTF model must not crack the iPUF: {acc}"
+        );
         assert!(acc > 0.5, "but it is also not at chance: {acc}");
     }
 

@@ -36,11 +36,7 @@ pub fn reliability<P: PufModel, R: Rng + ?Sized>(
 
 /// Estimated uniformity: fraction of 1-responses over random challenges.
 /// Ideal is 0.5.
-pub fn uniformity<P: PufModel, R: Rng + ?Sized>(
-    puf: &P,
-    challenges: usize,
-    rng: &mut R,
-) -> f64 {
+pub fn uniformity<P: PufModel, R: Rng + ?Sized>(puf: &P, challenges: usize, rng: &mut R) -> f64 {
     assert!(challenges > 0);
     let n = puf.challenge_bits();
     let ones = (0..challenges)
@@ -57,11 +53,7 @@ pub fn uniformity<P: PufModel, R: Rng + ?Sized>(
 ///
 /// Panics if fewer than two PUFs are given, challenge lengths differ,
 /// or `challenges == 0`.
-pub fn uniqueness<P: PufModel, R: Rng + ?Sized>(
-    pufs: &[P],
-    challenges: usize,
-    rng: &mut R,
-) -> f64 {
+pub fn uniqueness<P: PufModel, R: Rng + ?Sized>(pufs: &[P], challenges: usize, rng: &mut R) -> f64 {
     assert!(pufs.len() >= 2, "uniqueness needs at least two instances");
     assert!(challenges > 0);
     let n = pufs[0].challenge_bits();

@@ -49,7 +49,9 @@ impl XorArbiterPuf {
     /// Panics if `n == 0` or `k == 0`.
     pub fn sample<R: Rng + ?Sized>(n: usize, k: usize, noise_sigma: f64, rng: &mut R) -> Self {
         assert!(k > 0, "XOR arbiter PUF needs at least one chain");
-        let chains = (0..k).map(|_| ArbiterPuf::sample(n, noise_sigma, rng)).collect();
+        let chains = (0..k)
+            .map(|_| ArbiterPuf::sample(n, noise_sigma, rng))
+            .collect();
         XorArbiterPuf { chains }
     }
 

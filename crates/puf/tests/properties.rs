@@ -100,16 +100,19 @@ fn crp_set_serde_round_trip() {
     // construct the repr manually.
     use mlam_puf::crp::{Crp, CrpSet};
     let mut set = CrpSet::new(4);
-    set.push(Crp::new(BitVec::from_bools(&[true, false, true, true]), true));
-    set.push(Crp::new(BitVec::from_bools(&[false, false, true, false]), false));
+    set.push(Crp::new(
+        BitVec::from_bools(&[true, false, true, true]),
+        true,
+    ));
+    set.push(Crp::new(
+        BitVec::from_bools(&[false, false, true, false]),
+        false,
+    ));
     // Round trip through the string challenge encoding used by serde.
     let labeled = set.to_labeled();
     let rebuilt = CrpSet::from_crps(
         4,
-        labeled
-            .into_iter()
-            .map(|(c, r)| Crp::new(c, r))
-            .collect(),
+        labeled.into_iter().map(|(c, r)| Crp::new(c, r)).collect(),
     );
     assert_eq!(set, rebuilt);
 }

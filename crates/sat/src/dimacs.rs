@@ -91,8 +91,7 @@ pub fn parse_dimacs(text: &str) -> Result<DimacsInstance, ParseDimacsError> {
                 .map_err(|_| ParseDimacsError::new(lineno, "bad clause count"))?;
             continue;
         }
-        let nv = num_vars
-            .ok_or_else(|| ParseDimacsError::new(lineno, "clause before header"))?;
+        let nv = num_vars.ok_or_else(|| ParseDimacsError::new(lineno, "clause before header"))?;
         for tok in line.split_whitespace() {
             let l: i32 = tok
                 .parse()

@@ -131,7 +131,7 @@ impl SatResult {
 }
 
 /// Aggregate statistics of a solver instance.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct SolverStats {
     /// Conflicts encountered.
     pub conflicts: u64,
@@ -143,6 +143,34 @@ pub struct SolverStats {
     pub restarts: u64,
     /// Learnt clauses currently kept.
     pub learnt_clauses: usize,
+}
+
+impl SolverStats {
+    /// The work done since an earlier snapshot of the same solver.
+    ///
+    /// The monotone counters subtract (saturating, so snapshots from a
+    /// different solver cannot underflow); `learnt_clauses` is a gauge
+    /// and keeps its current value.
+    pub fn since(&self, earlier: &SolverStats) -> SolverStats {
+        SolverStats {
+            conflicts: self.conflicts.saturating_sub(earlier.conflicts),
+            decisions: self.decisions.saturating_sub(earlier.decisions),
+            propagations: self.propagations.saturating_sub(earlier.propagations),
+            restarts: self.restarts.saturating_sub(earlier.restarts),
+            learnt_clauses: self.learnt_clauses,
+        }
+    }
+
+    /// Adds another solver's statistics into this one (for reporting
+    /// totals across several solver instances). `learnt_clauses` sums
+    /// the clauses currently kept by each instance.
+    pub fn accumulate(&mut self, other: &SolverStats) {
+        self.conflicts += other.conflicts;
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.restarts += other.restarts;
+        self.learnt_clauses += other.learnt_clauses;
+    }
 }
 
 const UNASSIGNED: u8 = 2;
@@ -574,6 +602,21 @@ impl Solver {
     /// Solves under the given assumption literals. The solver state is
     /// reusable afterwards: assumptions do not become permanent.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        let before = self.stats;
+        let result = self.solve_with_assumptions_inner(assumptions);
+        // Publish the per-call deltas so attack-level telemetry sees
+        // solver work even when solver instances are short-lived.
+        let delta = self.stats.since(&before);
+        mlam_telemetry::counter!("sat.solve_calls", 1);
+        mlam_telemetry::counter!("sat.conflicts", delta.conflicts);
+        mlam_telemetry::counter!("sat.decisions", delta.decisions);
+        mlam_telemetry::counter!("sat.propagations", delta.propagations);
+        mlam_telemetry::counter!("sat.restarts", delta.restarts);
+        mlam_telemetry::histogram!("sat.conflicts_per_call", delta.conflicts);
+        result
+    }
+
+    fn solve_with_assumptions_inner(&mut self, assumptions: &[Lit]) -> SatResult {
         if self.unsat {
             return SatResult::Unsat;
         }
@@ -608,17 +651,22 @@ impl Solver {
                     self.cancel_until(0);
                     return SatResult::Unsat;
                 }
-                let target = backjump.max(assumption_levels);
-                self.cancel_until(target);
                 if learnt.len() == 1 {
+                    // A unit learnt is implied by the clause database
+                    // alone (assumption decisions enter the clause as
+                    // ordinary literals), so it belongs at level 0 —
+                    // enqueueing it reasonless inside the assumption
+                    // prefix would break the "non-decision has a
+                    // reason" invariant of later conflict analyses.
+                    // The decision loop re-places the assumptions.
+                    self.cancel_until(0);
                     if !self.enqueue(learnt[0], NO_REASON) {
-                        self.cancel_until(0);
-                        if target == 0 {
-                            self.unsat = true;
-                        }
+                        self.unsat = true;
                         return SatResult::Unsat;
                     }
                 } else {
+                    let target = backjump.max(assumption_levels);
+                    self.cancel_until(target);
                     let cref = self.attach_clause(learnt.clone(), true);
                     let ok = self.enqueue(learnt[0], cref);
                     debug_assert!(ok, "asserting literal must enqueue");
@@ -765,11 +813,7 @@ mod tests {
         assert!(solve_ints(1, &[vec![-1]]).is_sat());
         assert!(!solve_ints(1, &[vec![1], vec![-1]]).is_sat());
         assert!(solve_ints(2, &[vec![1, 2], vec![-1, 2], vec![1, -2]]).is_sat());
-        assert!(!solve_ints(
-            2,
-            &[vec![1, 2], vec![-1, 2], vec![1, -2], vec![-1, -2]]
-        )
-        .is_sat());
+        assert!(!solve_ints(2, &[vec![1, 2], vec![-1, 2], vec![1, -2], vec![-1, -2]]).is_sat());
     }
 
     #[test]
@@ -795,7 +839,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(99);
         let mut sat_seen = 0;
         let mut unsat_seen = 0;
-        for _ in 0..200 {
+        for _ in 0..400 {
             let n = rng.gen_range(3..=10usize);
             let m = rng.gen_range(1..=(n * 5));
             let clauses: Vec<Vec<i32>> = (0..m)
@@ -821,7 +865,10 @@ mod tests {
                 unsat_seen += 1;
             }
         }
-        assert!(sat_seen > 20 && unsat_seen > 20, "{sat_seen} / {unsat_seen}");
+        assert!(
+            sat_seen > 20 && unsat_seen > 20,
+            "{sat_seen} / {unsat_seen}"
+        );
     }
 
     #[test]

@@ -1,0 +1,66 @@
+//! Telemetry for the mlam attack pipeline: RAII spans, global metrics,
+//! and JSONL run manifests.
+//!
+//! Everything here is strictly additive observability: output goes to
+//! **stderr** (gated by the `MLAM_LOG` environment variable) or to
+//! files explicitly requested by the caller (`--json` in the bench
+//! binaries). With `MLAM_LOG` unset and no JSONL sink installed, the
+//! pipeline's stdout is byte-identical to a build without telemetry.
+//!
+//! The three layers:
+//!
+//! - [`span`] — scoped wall-clock timing. [`span::span("name")`] returns
+//!   a guard; dropping it records the elapsed time, feeds the
+//!   per-span-name duration histogram, and emits start/end events to
+//!   the installed sinks.
+//! - [`metrics`] — process-global named [`Counter`]s (atomic) and
+//!   log₂-bucketed [`Histogram`]s, snapshotted as plain maps so callers
+//!   can diff before/after an experiment.
+//! - [`manifest`] — the serde-serializable [`RunManifest`] written by
+//!   `repro_all --json`, recording seed, parameters, crate versions,
+//!   and per-experiment wall-clock plus counter deltas.
+
+pub mod manifest;
+pub mod metrics;
+pub mod recorder;
+pub mod span;
+
+pub use manifest::{ExperimentRecord, RunManifest};
+pub use metrics::{
+    counter_handle, histogram_handle, snapshot, write_metrics_jsonl, Counter, Histogram,
+    HistogramSnapshot, MetricLine, MetricsSnapshot,
+};
+pub use recorder::{add_sink, stderr_level, Event, EventKind, JsonlSink, Level, Sink};
+pub use span::{span, Span};
+
+/// Looks up (and caches, via a hidden `static`) the named counter, then
+/// adds `delta` to it. With one argument, returns the cached
+/// [`Counter`] handle instead.
+///
+/// The name must be a literal so the cache is sound; use
+/// [`counter_handle`] for dynamically built names.
+#[macro_export]
+macro_rules! counter {
+    ($name:literal) => {{
+        static __MLAM_COUNTER: ::std::sync::OnceLock<$crate::metrics::Counter> =
+            ::std::sync::OnceLock::new();
+        __MLAM_COUNTER.get_or_init(|| $crate::metrics::counter_handle($name))
+    }};
+    ($name:literal, $delta:expr) => {
+        $crate::counter!($name).add($delta as u64)
+    };
+}
+
+/// Looks up (and caches) the named histogram; with a second argument,
+/// records one observation into it.
+#[macro_export]
+macro_rules! histogram {
+    ($name:literal) => {{
+        static __MLAM_HISTOGRAM: ::std::sync::OnceLock<$crate::metrics::Histogram> =
+            ::std::sync::OnceLock::new();
+        __MLAM_HISTOGRAM.get_or_init(|| $crate::metrics::histogram_handle($name))
+    }};
+    ($name:literal, $value:expr) => {
+        $crate::histogram!($name).observe($value as u64)
+    };
+}

@@ -1,0 +1,349 @@
+//! Process-global named counters and log₂-bucketed histograms.
+//!
+//! Handles are cheap `Arc` clones of atomics held in one global
+//! registry, so incrementing on a hot path is a single relaxed atomic
+//! add. The registry itself is only locked when a *new* name is first
+//! used (or a snapshot is taken) — the [`crate::counter!`] and
+//! [`crate::histogram!`] macros cache the handle in a `static` after
+//! the first lookup.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of histogram buckets: bucket 0 holds zeros, bucket `i`
+/// (1 ≤ i ≤ 64) holds values whose highest set bit is `i - 1`, i.e.
+/// values in `[2^(i-1), 2^i)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonically increasing named counter.
+#[derive(Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    pub fn add(&self, delta: u64) {
+        self.cell.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A log₂-bucketed histogram of `u64` observations.
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramCells>,
+}
+
+struct HistogramCells {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+/// The bucket index a value falls into.
+pub fn bucket_index(value: u64) -> usize {
+    match value {
+        0 => 0,
+        v => v.ilog2() as usize + 1,
+    }
+}
+
+/// The exclusive upper bound of a bucket (`None` for the last bucket,
+/// whose bound 2^64 does not fit in `u64`).
+pub fn bucket_upper_bound(index: usize) -> Option<u64> {
+    assert!(index < HISTOGRAM_BUCKETS, "bucket index out of range");
+    1u64.checked_shl(index as u32)
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            inner: Arc::new(HistogramCells {
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            }),
+        }
+    }
+
+    pub fn observe(&self, value: u64) {
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(value, Ordering::Relaxed);
+        self.inner.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.inner.count.load(Ordering::Relaxed),
+            sum: self.inner.sum.load(Ordering::Relaxed),
+            buckets: self
+                .inner
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then_some((i as u32, n))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of one histogram: total count, total sum, and
+/// the non-empty `(bucket_index, count)` pairs.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, or `None` for an empty histogram.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+}
+
+/// A point-in-time copy of every registered metric.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Counter increments since `earlier` (zero-delta entries are
+    /// dropped; histograms are not diffed).
+    pub fn counter_deltas_since(&self, earlier: &MetricsSnapshot) -> BTreeMap<String, u64> {
+        self.counters
+            .iter()
+            .filter_map(|(name, &now)| {
+                let before = earlier.counters.get(name).copied().unwrap_or(0);
+                let delta = now.saturating_sub(before);
+                (delta > 0).then(|| (name.clone(), delta))
+            })
+            .collect()
+    }
+}
+
+struct Registry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        counters: Mutex::new(BTreeMap::new()),
+        histograms: Mutex::new(BTreeMap::new()),
+    })
+}
+
+/// The counter registered under `name`, creating it on first use.
+pub fn counter_handle(name: &str) -> Counter {
+    let mut counters = registry()
+        .counters
+        .lock()
+        .expect("counter registry poisoned");
+    counters
+        .entry(name.to_owned())
+        .or_insert_with(|| Counter {
+            cell: Arc::new(AtomicU64::new(0)),
+        })
+        .clone()
+}
+
+/// The histogram registered under `name`, creating it on first use.
+pub fn histogram_handle(name: &str) -> Histogram {
+    let mut histograms = registry()
+        .histograms
+        .lock()
+        .expect("histogram registry poisoned");
+    histograms
+        .entry(name.to_owned())
+        .or_insert_with(Histogram::new)
+        .clone()
+}
+
+/// Snapshots every registered counter and histogram.
+pub fn snapshot() -> MetricsSnapshot {
+    let counters = registry()
+        .counters
+        .lock()
+        .expect("counter registry poisoned")
+        .iter()
+        .map(|(name, c)| (name.clone(), c.get()))
+        .collect();
+    let histograms = registry()
+        .histograms
+        .lock()
+        .expect("histogram registry poisoned")
+        .iter()
+        .map(|(name, h)| (name.clone(), h.snapshot()))
+        .collect();
+    MetricsSnapshot {
+        counters,
+        histograms,
+    }
+}
+
+/// One line of a `metrics.jsonl` dump.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum MetricLine {
+    Counter {
+        name: String,
+        value: u64,
+    },
+    Histogram {
+        name: String,
+        count: u64,
+        sum: u64,
+        buckets: Vec<(u32, u64)>,
+    },
+}
+
+/// Writes a snapshot as JSONL: one [`MetricLine`] object per line,
+/// counters first, then histograms, each alphabetically.
+pub fn write_metrics_jsonl<W: std::io::Write>(
+    mut out: W,
+    snap: &MetricsSnapshot,
+) -> std::io::Result<()> {
+    let to_io_err = |e: serde_json::Error| std::io::Error::new(std::io::ErrorKind::InvalidData, e);
+    for (name, &value) in &snap.counters {
+        let line = serde_json::to_string(&MetricLine::Counter {
+            name: name.clone(),
+            value,
+        })
+        .map_err(to_io_err)?;
+        writeln!(out, "{line}")?;
+    }
+    for (name, h) in &snap.histograms {
+        let line = serde_json::to_string(&MetricLine::Histogram {
+            name: name.clone(),
+            count: h.count,
+            sum: h.sum,
+            buckets: h.buckets.clone(),
+        })
+        .map_err(to_io_err)?;
+        writeln!(out, "{line}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_jsonl_lines_deserialize() {
+        let c = counter_handle("test.metrics.jsonl_counter");
+        c.add(9);
+        histogram_handle("test.metrics.jsonl_histogram").observe(5);
+        let snap = snapshot();
+        let mut buf = Vec::new();
+        write_metrics_jsonl(&mut buf, &snap).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut saw_counter = false;
+        for line in text.lines() {
+            let parsed: MetricLine = serde_json::from_str(line).unwrap();
+            if let MetricLine::Counter { name, value } = &parsed {
+                if name == "test.metrics.jsonl_counter" {
+                    assert!(*value >= 9);
+                    saw_counter = true;
+                }
+            }
+        }
+        assert!(saw_counter);
+    }
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let c = counter_handle("test.metrics.counter_a");
+        let before = snapshot();
+        c.add(3);
+        c.incr();
+        assert_eq!(c.get(), before.counters["test.metrics.counter_a"] + 4);
+        let after = snapshot();
+        let deltas = after.counter_deltas_since(&before);
+        assert_eq!(deltas["test.metrics.counter_a"], 4);
+    }
+
+    #[test]
+    fn handles_alias_the_same_cell() {
+        let a = counter_handle("test.metrics.alias");
+        let b = counter_handle("test.metrics.alias");
+        a.add(2);
+        b.add(5);
+        assert_eq!(a.get(), b.get());
+        assert!(a.get() >= 7);
+    }
+
+    #[test]
+    fn bucket_index_edges() {
+        // Exhaustive around every power-of-two boundary that fits.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        for i in 1..64 {
+            let lo = 1u64 << (i - 1);
+            let hi = (1u64 << i) - 1;
+            assert_eq!(bucket_index(lo), i, "low edge of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "high edge of bucket {i}");
+        }
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_index(1u64 << 63), 64);
+    }
+
+    #[test]
+    fn bucket_bounds_match_indices() {
+        for i in 0..HISTOGRAM_BUCKETS - 1 {
+            let bound = bucket_upper_bound(i).expect("all but last bucket have bounds");
+            // Everything strictly below the bound lands at or before i.
+            assert!(bucket_index(bound - 1) <= i);
+            // The bound itself belongs to the next bucket.
+            assert_eq!(bucket_index(bound), i + 1);
+        }
+        assert_eq!(bucket_upper_bound(HISTOGRAM_BUCKETS - 1), None);
+    }
+
+    #[test]
+    fn histogram_observations_land_in_buckets() {
+        let h = histogram_handle("test.metrics.histogram");
+        h.observe(0);
+        h.observe(1);
+        h.observe(7);
+        h.observe(8);
+        h.observe(u64::MAX);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 5);
+        // The sum cell wraps on overflow, as fetch_add does.
+        assert_eq!(snap.sum, u64::MAX.wrapping_add(16));
+        let buckets: BTreeMap<u32, u64> = snap.buckets.iter().copied().collect();
+        assert_eq!(buckets[&0], 1); // 0
+        assert_eq!(buckets[&1], 1); // 1
+        assert_eq!(buckets[&3], 1); // 7 in [4, 8)
+        assert_eq!(buckets[&4], 1); // 8 in [8, 16)
+        assert_eq!(buckets[&64], 1); // u64::MAX
+        assert_eq!(snap.mean(), Some(snap.sum as f64 / 5.0));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_mean() {
+        let h = histogram_handle("test.metrics.empty");
+        assert_eq!(h.snapshot().mean(), None);
+        assert!(h.snapshot().buckets.is_empty());
+    }
+}

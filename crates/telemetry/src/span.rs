@@ -1,0 +1,169 @@
+//! RAII spans: scoped, monotonic wall-clock timing with nesting.
+//!
+//! ```
+//! let _guard = mlam_telemetry::span("table1");
+//! // ... work ...
+//! // on drop: elapsed time recorded, end event emitted
+//! ```
+//!
+//! Each span also feeds the `span.<name>.micros` histogram, so repeated
+//! spans (e.g. one per SAT-attack iteration) aggregate for free.
+
+use crate::recorder::{self, Event, EventKind};
+use std::cell::Cell;
+use std::time::{Duration, Instant};
+
+thread_local! {
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Starts a named span; timing stops when the returned guard drops.
+pub fn span(name: impl Into<String>) -> Span {
+    Span::new(name.into(), Vec::new())
+}
+
+/// A live span. Construct via [`span`]; attach context with
+/// [`Span::attr`].
+pub struct Span {
+    name: String,
+    start: Instant,
+    depth: usize,
+    attrs: Vec<(String, String)>,
+}
+
+impl Span {
+    fn new(name: String, attrs: Vec<(String, String)>) -> Span {
+        let depth = DEPTH.with(|d| {
+            let depth = d.get();
+            d.set(depth + 1);
+            depth
+        });
+        let span = Span {
+            name,
+            start: Instant::now(),
+            depth,
+            attrs,
+        };
+        recorder::dispatch(&span.event(EventKind::SpanStart, None));
+        span
+    }
+
+    /// Attaches a key/value shown on this span's events.
+    pub fn attr(mut self, key: impl Into<String>, value: impl std::fmt::Display) -> Span {
+        self.attrs.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// Time since the span started (monotonic).
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    fn event(&self, kind: EventKind, elapsed_ns: Option<u64>) -> Event {
+        Event {
+            kind,
+            name: self.name.clone(),
+            depth: self.depth,
+            ts_ns: recorder::now_ns(),
+            elapsed_ns,
+            attrs: self.attrs.clone(),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        crate::metrics::histogram_handle(&format!("span.{}.micros", self.name))
+            .observe(elapsed.as_micros() as u64);
+        recorder::dispatch(&self.event(EventKind::SpanEnd, Some(elapsed.as_nanos() as u64)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{add_sink, Sink};
+    use std::sync::mpsc;
+
+    struct ChannelSink(mpsc::Sender<Event>);
+
+    impl Sink for ChannelSink {
+        fn record(&mut self, event: &Event) {
+            let _ = self.0.send(event.clone());
+        }
+    }
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let span = span("span-monotone");
+        let a = span.elapsed();
+        let b = span.elapsed();
+        assert!(b >= a);
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(span.elapsed() >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn nesting_depth_is_tracked() {
+        let (tx, rx) = mpsc::channel();
+        add_sink(Box::new(ChannelSink(tx)));
+        {
+            let _outer = span("span-outer");
+            {
+                let _inner = span("span-inner");
+            }
+        }
+        let events: Vec<Event> = rx.try_iter().collect();
+        let outer = events
+            .iter()
+            .find(|e| e.name == "span-outer" && e.kind == EventKind::SpanStart)
+            .expect("outer start");
+        let inner = events
+            .iter()
+            .find(|e| e.name == "span-inner" && e.kind == EventKind::SpanStart)
+            .expect("inner start");
+        assert_eq!(inner.depth, outer.depth + 1);
+        // End events restore and report the same depth as their start.
+        let inner_end = events
+            .iter()
+            .find(|e| e.name == "span-inner" && e.kind == EventKind::SpanEnd)
+            .expect("inner end");
+        assert_eq!(inner_end.depth, inner.depth);
+        // The inner span ends before the outer one.
+        let outer_end_idx = events
+            .iter()
+            .position(|e| e.name == "span-outer" && e.kind == EventKind::SpanEnd)
+            .expect("outer end");
+        let inner_end_idx = events
+            .iter()
+            .position(|e| e.name == "span-inner" && e.kind == EventKind::SpanEnd)
+            .expect("inner end idx");
+        assert!(inner_end_idx < outer_end_idx);
+    }
+
+    #[test]
+    fn span_durations_feed_a_histogram() {
+        {
+            let _span = span("span-histo");
+        }
+        let snap = crate::metrics::histogram_handle("span.span-histo.micros").snapshot();
+        assert!(snap.count >= 1);
+    }
+
+    #[test]
+    fn attrs_ride_along() {
+        let (tx, rx) = mpsc::channel();
+        add_sink(Box::new(ChannelSink(tx)));
+        {
+            let _span = span("span-attrs").attr("n", 32).attr("k", "4");
+        }
+        let end = rx
+            .try_iter()
+            .find(|e| e.name == "span-attrs" && e.kind == EventKind::SpanEnd)
+            .expect("end event");
+        assert!(end.attrs.contains(&("n".to_string(), "32".to_string())));
+        assert!(end.attrs.contains(&("k".to_string(), "4".to_string())));
+    }
+}

@@ -25,7 +25,10 @@ fn main() {
     for budget in [1000usize, 2500, 5000, 10_000] {
         let train = LabeledSet::sample(&puf, budget, &mut rng);
         let cell = table_ii_procedure(&train, &test, ChowConfig::default(), 50);
-        println!("  {budget:>6} CRPs -> {:.2}% accuracy", cell.test_accuracy * 100.0);
+        println!(
+            "  {budget:>6} CRPs -> {:.2}% accuracy",
+            cell.test_accuracy * 100.0
+        );
     }
     println!("  (the plateau: more CRPs cannot fix a wrong representation)\n");
 

@@ -48,9 +48,7 @@ fn main() {
                 obf.functional().output(&[0])
             );
         }
-        None => println!(
-            "no unlock sequence recovered (functional machine is degenerate)"
-        ),
+        None => println!("no unlock sequence recovered (functional machine is degenerate)"),
     }
 
     println!(

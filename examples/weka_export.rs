@@ -26,6 +26,10 @@ fn main() {
     // Round-trip sanity: the exported file parses back identically.
     let back = from_arff(&arff).expect("parse our own export");
     assert_eq!(back, crps);
-    println!("\nround-trip check: OK ({} CRPs, {} challenge bits)", back.len(), back.challenge_bits());
+    println!(
+        "\nround-trip check: OK ({} CRPs, {} challenge bits)",
+        back.len(),
+        back.challenge_bits()
+    );
     println!("feed this file to `weka.classifiers.functions.Perceptron` to rerun Table II on the original tooling.");
 }

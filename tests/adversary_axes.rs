@@ -43,8 +43,7 @@ fn distribution_axis_changes_the_verdict() {
         let y = f.eval(&x);
         train_a.push(x, y);
     }
-    let acc_adversarial =
-        test_u.accuracy_of(&Perceptron::new(60).train(&train_a).model);
+    let acc_adversarial = test_u.accuracy_of(&Perceptron::new(60).train(&train_a).model);
     assert!(
         acc_adversarial < acc_uniform - 0.02,
         "adversarial-distribution training must transfer worse: {acc_adversarial} vs {acc_uniform}"
@@ -57,9 +56,7 @@ fn distribution_axis_changes_the_verdict() {
 #[test]
 fn access_axis_changes_the_verdict() {
     let mut rng = StdRng::seed_from_u64(2);
-    let f = FnFunction::new(20, |x: &BitVec| {
-        x.get(0) ^ x.get(7) ^ x.get(13) ^ x.get(19)
-    });
+    let f = FnFunction::new(20, |x: &BitVec| x.get(0) ^ x.get(7) ^ x.get(13) ^ x.get(19));
     // Random examples + low-degree improper learner: chance.
     let train = LabeledSet::sample(&f, 6000, &mut rng);
     let test = LabeledSet::sample(&f, 2000, &mut rng);

@@ -108,7 +108,10 @@ fn br_puf_resists_ltf_but_not_improper_low_degree() {
     // Proper LTF learner plateaus...
     let proper = Perceptron::new(60).train(&train);
     let proper_acc = test.accuracy_of(&proper.model);
-    assert!(proper_acc < 0.93, "LTF must not crack the BR PUF: {proper_acc}");
+    assert!(
+        proper_acc < 0.93,
+        "LTF must not crack the BR PUF: {proper_acc}"
+    );
 
     // ...the improper degree-2 spectrum does clearly better.
     let improper = lmn_learn(&train, LmnConfig::new(2));

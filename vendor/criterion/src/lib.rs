@@ -1,0 +1,147 @@
+//! Offline stub of [`criterion`]: just enough harness to compile and
+//! run the workspace's `benches/` targets without the real crate.
+//!
+//! Each `bench_function` runs its routine `sample_size` times and
+//! prints the median wall-clock time per iteration to stderr. There is
+//! no warm-up, outlier analysis, or HTML report — this is a smoke
+//! harness, not a statistics engine.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped; the stub runs one input per
+/// iteration regardless, so the variants only exist for API parity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        bencher.samples.sort();
+        let median = bencher
+            .samples
+            .get(bencher.samples.len() / 2)
+            .copied()
+            .unwrap_or(Duration::ZERO);
+        eprintln!(
+            "bench {id}: median {median:?} over {} samples",
+            bencher.samples.len()
+        );
+        self
+    }
+}
+
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            $(
+                {
+                    let mut criterion: $crate::Criterion = $config;
+                    $target(&mut criterion);
+                }
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0usize;
+        c.bench_function("stub/self_test", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default().sample_size(4);
+        let mut setups = 0usize;
+        c.bench_function("stub/batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 8]
+                },
+                |v| v.len(),
+                BatchSize::LargeInput,
+            )
+        });
+        assert_eq!(setups, 4);
+    }
+}

@@ -1,0 +1,512 @@
+//! Offline stub of [`proptest`]: random-input property testing with the
+//! `proptest!` macro surface the mlam workspace uses.
+//!
+//! Differences from real proptest, by design:
+//!
+//! - **No shrinking.** A failing case reports the generated input
+//!   as-is; it is not minimized.
+//! - **Deterministic.** Every runner starts from the same fixed seed,
+//!   so test outcomes are reproducible across runs and machines.
+//! - **Rejections count as passes.** `prop_assume!` skips the case but
+//!   does not generate a replacement, and there is no rejection cap.
+//! - `proptest-regressions` files are ignored.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// The RNG threaded through strategy generation.
+    pub type TestRng = StdRng;
+
+    /// A generator of random values of type [`Strategy::Value`].
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { source: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        pub(crate) source: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        pub(crate) source: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.source.generate(rng)).generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),+) => {
+            $(
+                impl Strategy for core::ops::Range<$t> {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        rng.gen_range(self.clone())
+                    }
+                }
+                impl Strategy for core::ops::RangeInclusive<$t> {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        rng.gen_range(self.clone())
+                    }
+                }
+            )+
+        };
+    }
+
+    int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategies {
+        ($($t:ty),+) => {
+            $(
+                impl Strategy for core::ops::Range<$t> {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        rng.gen_range(self.clone())
+                    }
+                }
+                impl Strategy for core::ops::RangeInclusive<$t> {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        // Sampling the half-open interval and rescaling
+                        // is close enough for a test-input stub; the
+                        // exact upper endpoint has measure zero anyway.
+                        let (start, end) = (*self.start(), *self.end());
+                        start + rng.gen::<$t>() * (end - start)
+                    }
+                }
+            )+
+        };
+    }
+
+    float_range_strategies!(f32, f64);
+
+    macro_rules! tuple_strategies {
+        ($(($($S:ident $idx:tt),+);)+) => {
+            $(
+                impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                    type Value = ($($S::Value,)+);
+                    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                        ($(self.$idx.generate(rng),)+)
+                    }
+                }
+            )+
+        };
+    }
+
+    tuple_strategies! {
+        (S0 0);
+        (S0 0, S1 1);
+        (S0 0, S1 1, S2 2);
+        (S0 0, S1 1, S2 2, S3 3);
+        (S0 0, S1 1, S2 2, S3 3, S4 4);
+        (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5);
+        (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6);
+        (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6, S7 7);
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::{Strategy, TestRng};
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical [`any`] strategy.
+    pub trait Arbitrary: Sized {
+        type Strategy: Strategy<Value = Self>;
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+
+    /// Uniform over the whole value domain via the rand stub.
+    pub struct StandardAny<T>(PhantomData<T>);
+
+    macro_rules! standard_arbitrary {
+        ($($t:ty),+) => {
+            $(
+                impl Strategy for StandardAny<$t> {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        rng.gen()
+                    }
+                }
+                impl Arbitrary for $t {
+                    type Strategy = StandardAny<$t>;
+                    fn arbitrary() -> Self::Strategy {
+                        StandardAny(PhantomData)
+                    }
+                }
+            )+
+        };
+    }
+
+    standard_arbitrary!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+pub mod prop {
+    pub mod collection {
+        use crate::strategy::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// Inclusive bounds on a generated collection length.
+        #[derive(Clone, Copy, Debug)]
+        pub struct SizeRange {
+            min: usize,
+            max_inclusive: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange {
+                    min: n,
+                    max_inclusive: n,
+                }
+            }
+        }
+
+        impl From<core::ops::Range<usize>> for SizeRange {
+            fn from(r: core::ops::Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                SizeRange {
+                    min: r.start,
+                    max_inclusive: r.end - 1,
+                }
+            }
+        }
+
+        impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+                assert!(r.start() <= r.end(), "empty size range");
+                SizeRange {
+                    min: *r.start(),
+                    max_inclusive: *r.end(),
+                }
+            }
+        }
+
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// `Vec`s of `size.into()` elements drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = rng.gen_range(self.size.min..=self.size.max_inclusive);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    pub mod sample {
+        use crate::arbitrary::Arbitrary;
+        use crate::strategy::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// A position into a collection whose length is only known at
+        /// use time; `index(len)` maps it uniformly into `0..len`.
+        #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+        pub struct Index {
+            raw: u64,
+        }
+
+        impl Index {
+            pub fn index(&self, size: usize) -> usize {
+                assert!(size > 0, "Index::index on an empty collection");
+                (self.raw % size as u64) as usize
+            }
+        }
+
+        pub struct IndexStrategy;
+
+        impl Strategy for IndexStrategy {
+            type Value = Index;
+            fn generate(&self, rng: &mut TestRng) -> Index {
+                Index { raw: rng.gen() }
+            }
+        }
+
+        impl Arbitrary for Index {
+            type Strategy = IndexStrategy;
+            fn arbitrary() -> Self::Strategy {
+                IndexStrategy
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Fixed runner seed: outcomes are reproducible by construction.
+    const RUNNER_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a single generated case did not produce a pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is skipped.
+        Reject,
+    }
+
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: StdRng,
+    }
+
+    impl TestRunner {
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner {
+                config,
+                rng: StdRng::seed_from_u64(RUNNER_SEED),
+            }
+        }
+
+        /// Runs `test` against `config.cases` generated inputs.
+        /// Assertion panics inside `test` propagate after the failing
+        /// input is printed to stderr (there is no shrinking).
+        pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), String>
+        where
+            S: Strategy,
+            S::Value: std::fmt::Debug,
+            F: FnMut(S::Value) -> Result<(), TestCaseError>,
+        {
+            for case in 0..self.config.cases {
+                let value = strategy.generate(&mut self.rng);
+                let described = format!("{value:?}");
+                let outcome =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(value)));
+                match outcome {
+                    Ok(Ok(())) | Ok(Err(TestCaseError::Reject)) => {}
+                    Err(payload) => {
+                        eprintln!("proptest stub: case {case} failed for input {described}");
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Declares `#[test]` functions whose arguments are drawn from
+/// strategies, as in real proptest:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn doubling(x in 0u64..1000) { prop_assert_eq!(x + x, 2 * x); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(
+            $crate::test_runner::ProptestConfig::default(); $($rest)*
+        );
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    ($config:expr;) => {};
+    ($config:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut __runner = $crate::test_runner::TestRunner::new($config);
+            let __strategy = ($($strat,)+);
+            let __outcome = __runner.run(&__strategy, |($($pat,)+)| {
+                $body
+                ::core::result::Result::Ok(())
+            });
+            if let ::core::result::Result::Err(__message) = __outcome {
+                ::core::panic!("{}", __message);
+            }
+        }
+        $crate::__proptest_fns!($config; $($rest)*);
+    };
+}
+
+/// `assert!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { ::core::assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { ::core::assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { ::core::assert_ne!($($args)*) };
+}
+
+/// Skips the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::TestRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strategy = prop::collection::vec(0u64..100, 3..10);
+        let mut rng_a = TestRng::seed_from_u64(7);
+        let mut rng_b = TestRng::seed_from_u64(7);
+        assert_eq!(strategy.generate(&mut rng_a), strategy.generate(&mut rng_b));
+    }
+
+    #[test]
+    fn vec_strategy_respects_bounds() {
+        let strategy = prop::collection::vec(any::<bool>(), 2..5);
+        let mut rng = TestRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let v = strategy.generate(&mut rng);
+            assert!((2..5).contains(&v.len()), "len {}", v.len());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_end_to_end(
+            x in 1usize..50,
+            flip in any::<bool>(),
+            idx in any::<prop::sample::Index>(),
+            v in prop::collection::vec(0i32..10, 1..8),
+        ) {
+            prop_assume!(!v.is_empty());
+            let i = idx.index(v.len());
+            prop_assert!(i < v.len());
+            let doubled = if flip { 2 * x } else { x + x };
+            prop_assert_eq!(doubled, 2 * x);
+            prop_assert_ne!(v.len(), 0);
+        }
+
+        #[test]
+        fn flat_map_and_just(pair in (1usize..5).prop_flat_map(|n| {
+            (Just(n), prop::collection::vec(0u8..=9, n))
+        })) {
+            prop_assert_eq!(pair.1.len(), pair.0);
+        }
+
+        #[test]
+        fn map_works(y in (0u64..10).prop_map(|v| v * 3)) {
+            prop_assert_eq!(y % 3, 0);
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Sequence-related random operations (`rand::seq` subset).
+
+use crate::Rng;
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// A uniformly random element, or `None` if the slice is empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(rng.gen_range(0..self.len()))
+        }
+    }
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SeedableRng, StdRng};
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs = [1, 2, 3, 4];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[*xs.choose(&mut rng).unwrap() as usize - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut xs: Vec<u32> = (0..50).collect();
+        xs.shuffle(&mut rng);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, sorted, "50 elements should not shuffle to identity");
+    }
+}

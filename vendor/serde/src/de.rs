@@ -1,0 +1,325 @@
+//! Deserialization half of the stub: content-tree based.
+//!
+//! A format's [`Deserializer`] parses its input into a [`Content`] tree;
+//! [`Deserialize`] impls then destructure the tree. The derive macro
+//! generates exactly that destructuring for structs and enums.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Display;
+
+/// Errors produced by a [`Deserializer`].
+pub trait Error: Sized + std::error::Error {
+    /// An error with a custom message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// The stub's self-describing data model — the deserialization
+/// counterpart of the [`crate::Serializer`] method set. JSON maps onto
+/// it exactly.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    /// `null` / unit / `None`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence (also tuples and tuple variants).
+    Seq(Vec<Content>),
+    /// A map with string keys (also structs and struct variants).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// A short human-readable name of the content's kind, for error
+    /// messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+
+    /// Removes and returns the value under `key`, if present.
+    ///
+    /// Only meaningful on [`Content::Map`]; returns `None` otherwise.
+    pub fn take_entry(&mut self, key: &str) -> Option<Content> {
+        if let Content::Map(entries) = self {
+            let idx = entries.iter().position(|(k, _)| k == key)?;
+            Some(entries.swap_remove(idx).1)
+        } else {
+            None
+        }
+    }
+}
+
+/// A format driver producing the parsed shape of its input.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Parses the whole input into a [`Content`] tree.
+    fn deserialize_content(self) -> Result<Content, Self::Error>;
+}
+
+/// A data structure that can be deserialized from any format.
+pub trait Deserialize<'de>: Sized {
+    /// Builds `Self` from the deserializer's input.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A [`Deserializer`] over an already-parsed [`Content`] tree, used to
+/// deserialize nested values (fields, elements) out of a larger tree.
+pub struct ContentDeserializer<E> {
+    content: Content,
+    marker: std::marker::PhantomData<E>,
+}
+
+impl<E: Error> ContentDeserializer<E> {
+    /// Wraps a content tree.
+    pub fn new(content: Content) -> Self {
+        ContentDeserializer {
+            content,
+            marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<'de, E: Error> Deserializer<'de> for ContentDeserializer<E> {
+    type Error = E;
+
+    fn deserialize_content(self) -> Result<Content, E> {
+        Ok(self.content)
+    }
+}
+
+/// Deserializes a `T` out of a content subtree — the workhorse behind
+/// every generated field/element extraction.
+pub fn from_content<'de, T: Deserialize<'de>, E: Error>(content: Content) -> Result<T, E> {
+    T::deserialize(ContentDeserializer::<E>::new(content))
+}
+
+/// Removes field `key` from a struct's map entries and deserializes it.
+///
+/// Used by `#[derive(Deserialize)]`; unknown extra fields are ignored,
+/// missing fields are an error.
+pub fn take_field<'de, T: Deserialize<'de>, E: Error>(
+    entries: &mut Vec<(String, Content)>,
+    struct_name: &str,
+    key: &str,
+) -> Result<T, E> {
+    match entries.iter().position(|(k, _)| k == key) {
+        Some(idx) => from_content(entries.swap_remove(idx).1),
+        None => Err(E::custom(format!(
+            "missing field `{key}` for struct {struct_name}"
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deserialize impls for std types.
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.deserialize_content()? {
+                    Content::U64(v) => <$t>::try_from(v)
+                        .map_err(|_| D::Error::custom(format!(
+                            "integer {v} out of range for {}", stringify!($t)))),
+                    Content::I64(v) => <$t>::try_from(v)
+                        .map_err(|_| D::Error::custom(format!(
+                            "integer {v} out of range for {}", stringify!($t)))),
+                    other => Err(D::Error::custom(format!(
+                        "expected integer, found {}", other.kind()))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_deserialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// 128-bit integers do not fit the content tree's 64-bit arms, so they
+// round-trip as decimal strings (see the matching Serialize impl).
+impl<'de> Deserialize<'de> for u128 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Str(s) => s
+                .parse::<u128>()
+                .map_err(|_| D::Error::custom(format!("invalid u128 string '{s}'"))),
+            Content::U64(v) => Ok(u128::from(v)),
+            Content::I64(v) => u128::try_from(v)
+                .map_err(|_| D::Error::custom(format!("integer {v} out of range for u128"))),
+            other => Err(D::Error::custom(format!(
+                "expected u128 (string or integer), found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Bool(v) => Ok(v),
+            other => Err(D::Error::custom(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::F64(v) => Ok(v),
+            Content::U64(v) => Ok(v as f64),
+            Content::I64(v) => Ok(v as f64),
+            // Non-finite floats round-trip through `null` in JSON.
+            Content::Null => Ok(f64::NAN),
+            other => Err(D::Error::custom(format!(
+                "expected float, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Str(v) => Ok(v),
+            other => Err(D::Error::custom(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Null => Ok(()),
+            other => Err(D::Error::custom(format!(
+                "expected null, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Null => Ok(None),
+            content => from_content::<T, D::Error>(content).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Seq(items) => items
+                .into_iter()
+                .map(|item| from_content::<T, D::Error>(item))
+                .collect(),
+            other => Err(D::Error::custom(format!(
+                "expected sequence, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($(($($name:ident),+ ; $len:expr)),*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.deserialize_content()? {
+                    Content::Seq(items) => {
+                        if items.len() != $len {
+                            return Err(D::Error::custom(format!(
+                                "expected tuple of {} elements, found {}",
+                                $len,
+                                items.len()
+                            )));
+                        }
+                        let mut iter = items.into_iter();
+                        Ok(($(from_content::<$name, D::Error>(
+                            iter.next().expect("length checked"),
+                        )?,)+))
+                    }
+                    other => Err(D::Error::custom(format!(
+                        "expected sequence, found {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_deserialize_tuple!((T0; 1), (T0, T1; 2), (T0, T1, T2; 3), (T0, T1, T2, T3; 4));
+
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| Ok((k, from_content::<V, D::Error>(v)?)))
+                .collect(),
+            other => Err(D::Error::custom(format!(
+                "expected map, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for HashMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| Ok((k, from_content::<V, D::Error>(v)?)))
+                .collect(),
+            other => Err(D::Error::custom(format!(
+                "expected map, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Content {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_content()
+    }
+}

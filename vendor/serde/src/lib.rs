@@ -1,0 +1,33 @@
+//! Offline stub of the [`serde`](https://serde.rs) framework.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the `serde` API surface the mlam workspace uses — the
+//! [`Serialize`] / [`Deserialize`] traits, `#[derive(Serialize,
+//! Deserialize)]`, and the [`Serializer`] / [`Deserializer`] driver
+//! traits — over a deliberately simplified data model:
+//!
+//! - Serialization is visitor-style, close to real serde: a
+//!   [`Serializer`] receives primitive values, sequences, maps, structs
+//!   and enum variants.
+//! - Deserialization is **content-tree based**: a [`Deserializer`]
+//!   produces a [`de::Content`] value tree (null / bool / integer /
+//!   float / string / seq / map) and `Deserialize` impls pattern-match
+//!   on it. This sidesteps real serde's `Visitor` machinery while
+//!   keeping the public trait names and signatures source-compatible
+//!   for the idioms used in this workspace (including manual impls that
+//!   delegate to a derived mirror type, as in `mlam-puf`'s `CrpSet`).
+//!
+//! Formats plug in exactly like real serde: see the vendored
+//! `serde_json` for the JSON implementation used by `mlam-telemetry`'s
+//! run manifests.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+// Derive macros live in the separate proc-macro crate and are
+// re-exported under the same names as the traits, exactly like real
+// serde with the `derive` feature.
+pub use serde_derive::{Deserialize, Serialize};

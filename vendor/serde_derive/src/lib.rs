@@ -1,0 +1,470 @@
+//! Offline stub of `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
+//! the shapes the mlam workspace uses — **non-generic** structs with
+//! named fields, unit structs, and enums whose variants are unit,
+//! tuple, or struct-like — using only the standard `proc_macro` API
+//! (the real crate's `syn`/`quote` stack is unavailable offline).
+//!
+//! Field types are never inspected: generated code relies on type
+//! inference (`&self.field` for serialization, constructor position
+//! for deserialization), which is what keeps hand-rolled parsing
+//! tractable. `#[serde(...)]` attributes are not supported and
+//! anything unsupported fails loudly at expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the deriving type.
+enum Shape {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    gen_serialize(&shape)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    gen_deserialize(&shape)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, found {other:?}"),
+    };
+    i += 1;
+
+    match tokens.get(i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => panic!(
+            "serde_derive stub: generic type `{name}` is not supported; \
+             write a manual impl or drop the generics"
+        ),
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+            assert_eq!(kind, "struct", "unexpected `;` after enum name");
+            Shape::UnitStruct { name }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let body = g.stream();
+            if kind == "struct" {
+                Shape::Struct {
+                    name,
+                    fields: parse_named_fields(body),
+                }
+            } else {
+                Shape::Enum {
+                    name,
+                    variants: parse_variants(body),
+                }
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            panic!("serde_derive stub: tuple struct `{name}` is not supported; use named fields")
+        }
+        other => panic!("serde_derive stub: unexpected token after `{name}`: {other:?}"),
+    }
+}
+
+/// Extracts field names from `a: T, b: U, ...`, ignoring attributes,
+/// visibility, and the types themselves (angle-bracket depth is tracked
+/// so commas inside `Vec<(A, B)>` don't split fields).
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes and visibility before the field name.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive stub: expected field name, found {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                panic!("serde_derive stub: expected `:` after field `{name}`, found {other:?}")
+            }
+        }
+        fields.push(name);
+        // Skip the type: everything until a comma at angle depth 0.
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            _ => {}
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive stub: expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_elements(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // Skip to the next variant (past the separating comma).
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+/// Counts the comma-separated elements of a tuple variant's field list.
+fn count_tuple_elements(body: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut angle = 0i32;
+    let mut in_element = false;
+    for token in body {
+        match &token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if in_element {
+                    count += 1;
+                    in_element = false;
+                }
+                continue;
+            }
+            _ => {}
+        }
+        in_element = true;
+    }
+    if in_element {
+        count += 1;
+    }
+    count
+}
+
+// ---------------------------------------------------------------------
+// Codegen: Serialize
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+               fn serialize<__S: ::serde::Serializer>(&self, serializer: __S)\n\
+                   -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 ::serde::Serializer::serialize_unit(serializer)\n\
+               }}\n\
+             }}"
+        ),
+        Shape::Struct { name, fields } => {
+            let mut body = format!(
+                "let mut __state = ::serde::Serializer::serialize_struct(\
+                   serializer, \"{name}\", {})?;\n",
+                fields.len()
+            );
+            for f in fields {
+                body.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(\
+                       &mut __state, \"{f}\", &self.{f})?;\n"
+                ));
+            }
+            body.push_str("::serde::ser::SerializeStruct::end(__state)\n");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn serialize<__S: ::serde::Serializer>(&self, serializer: __S)\n\
+                       -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                     {body}\
+                   }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Serializer::serialize_unit_variant(\
+                           serializer, \"{name}\", {idx}u32, \"{vname}\"),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => \
+                           ::serde::Serializer::serialize_newtype_variant(\
+                             serializer, \"{name}\", {idx}u32, \"{vname}\", __f0),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let mut inner = format!(
+                            "let mut __state = \
+                               ::serde::Serializer::serialize_tuple_variant(\
+                                 serializer, \"{name}\", {idx}u32, \"{vname}\", {n})?;\n"
+                        );
+                        for b in &binders {
+                            inner.push_str(&format!(
+                                "::serde::ser::SerializeSeq::serialize_element(\
+                                   &mut __state, {b})?;\n"
+                            ));
+                        }
+                        inner.push_str("::serde::ser::SerializeSeq::end(__state)\n");
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => {{\n{inner}}}\n",
+                            binders.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inner = format!(
+                            "let mut __state = \
+                               ::serde::Serializer::serialize_struct_variant(\
+                                 serializer, \"{name}\", {idx}u32, \"{vname}\", {})?;\n",
+                            fields.len()
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "::serde::ser::SerializeStruct::serialize_field(\
+                                   &mut __state, \"{f}\", {f})?;\n"
+                            ));
+                        }
+                        inner.push_str("::serde::ser::SerializeStruct::end(__state)\n");
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\n{inner}}}\n",
+                            fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn serialize<__S: ::serde::Serializer>(&self, serializer: __S)\n\
+                       -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                     match self {{\n{arms}}}\n\
+                   }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Codegen: Deserialize
+
+fn gen_field_extraction(owner: &str, fields: &[String]) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::de::take_field::<_, __D::Error>(\
+                   &mut __entries, \"{owner}\", \"{f}\")?,\n"
+            )
+        })
+        .collect()
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    let body = match shape {
+        Shape::UnitStruct { name } => format!(
+            "match __content {{\n\
+               ::serde::de::Content::Null => ::core::result::Result::Ok({name}),\n\
+               __other => ::core::result::Result::Err(\
+                 <__D::Error as ::serde::de::Error>::custom(::std::format!(\
+                   \"expected null for unit struct {name}, found {{}}\", __other.kind()))),\n\
+             }}"
+        ),
+        Shape::Struct { name, fields } => {
+            let extraction = gen_field_extraction(name, fields);
+            format!(
+                "match __content {{\n\
+                   ::serde::de::Content::Map(mut __entries) => \
+                     ::core::result::Result::Ok({name} {{\n{extraction}}}),\n\
+                   __other => ::core::result::Result::Err(\
+                     <__D::Error as ::serde::de::Error>::custom(::std::format!(\
+                       \"expected map for struct {name}, found {{}}\", __other.kind()))),\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}(\
+                           ::serde::de::from_content::<_, __D::Error>(__value)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let extract: String = (0..*n)
+                            .map(|_| {
+                                "::serde::de::from_content::<_, __D::Error>(\
+                                   __iter.next().expect(\"length checked\"))?,\n"
+                                    .to_string()
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => match __value {{\n\
+                               ::serde::de::Content::Seq(__items) if __items.len() == {n} => {{\n\
+                                 let mut __iter = __items.into_iter();\n\
+                                 ::core::result::Result::Ok({name}::{vname}(\n{extract}))\n\
+                               }}\n\
+                               _ => ::core::result::Result::Err(\
+                                 <__D::Error as ::serde::de::Error>::custom(\
+                                   \"expected sequence of {n} elements for variant \
+                                    {name}::{vname}\")),\n\
+                             }},\n"
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let owner = format!("{name}::{vname}");
+                        let extraction = gen_field_extraction(&owner, fields);
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => match __value {{\n\
+                               ::serde::de::Content::Map(mut __entries) => \
+                                 ::core::result::Result::Ok({name}::{vname} {{\n{extraction}}}),\n\
+                               _ => ::core::result::Result::Err(\
+                                 <__D::Error as ::serde::de::Error>::custom(\
+                                   \"expected map for variant {name}::{vname}\")),\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __content {{\n\
+                   ::serde::de::Content::Str(__variant) => match __variant.as_str() {{\n\
+                     {unit_arms}\
+                     __other => ::core::result::Result::Err(\
+                       <__D::Error as ::serde::de::Error>::custom(::std::format!(\
+                         \"unknown unit variant `{{__other}}` of enum {name}\"))),\n\
+                   }},\n\
+                   ::serde::de::Content::Map(mut __entries) if __entries.len() == 1 => {{\n\
+                     let (__variant, __value) = __entries.pop().expect(\"length checked\");\n\
+                     match __variant.as_str() {{\n\
+                       {data_arms}\
+                       __other => ::core::result::Result::Err(\
+                         <__D::Error as ::serde::de::Error>::custom(::std::format!(\
+                           \"unknown variant `{{__other}}` of enum {name}\"))),\n\
+                     }}\n\
+                   }}\n\
+                   __other => ::core::result::Result::Err(\
+                     <__D::Error as ::serde::de::Error>::custom(::std::format!(\
+                       \"expected variant of enum {name}, found {{}}\", __other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    let name = match shape {
+        Shape::Struct { name, .. } | Shape::UnitStruct { name } | Shape::Enum { name, .. } => name,
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+           fn deserialize<__D: ::serde::Deserializer<'de>>(deserializer: __D)\n\
+               -> ::core::result::Result<Self, __D::Error> {{\n\
+             let __content = ::serde::Deserializer::deserialize_content(deserializer)?;\n\
+             {body}\n\
+           }}\n\
+         }}"
+    )
+}

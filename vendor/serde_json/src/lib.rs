@@ -1,0 +1,187 @@
+//! Offline stub of [`serde_json`]: a JSON format implementation for the
+//! vendored serde stub.
+//!
+//! Provides the subset the mlam workspace uses: [`to_string`],
+//! [`to_string_pretty`], [`from_str`], [`to_writer`], and a [`Value`]
+//! tree (an alias of the stub's content model, which is JSON-shaped
+//! already).
+//!
+//! Deviations from real `serde_json`, chosen for lossless round-trips
+//! of experiment data:
+//!
+//! - non-finite floats serialize as `1e999` / `-1e999` (which Rust's
+//!   float parser reads back as ±infinity) and NaN as `null`;
+//! - map keys must be strings (as in JSON itself).
+
+mod parse;
+mod write;
+
+pub use parse::from_str;
+pub use write::{to_string, to_string_pretty, to_writer};
+
+/// A parsed JSON value — the serde stub's content tree.
+pub type Value = serde::de::Content;
+
+/// Errors from JSON serialization or parsing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+/// Serializes `value` into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: &T) -> Result<Value, Error> {
+    let json = to_string(value)?;
+    from_str(&json)
+}
+
+/// Deserializes a `T` out of a [`Value`] tree.
+pub fn from_value<'de, T: serde::Deserialize<'de>>(value: Value) -> Result<T, Error> {
+    serde::de::from_content(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Point {
+        x: i64,
+        y: f64,
+        label: String,
+        tags: Vec<String>,
+        next: Option<bool>,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Kind {
+        Unit,
+        New(f64),
+        Pair(u64, bool),
+        Named { a: String, b: Vec<u64> },
+    }
+
+    #[test]
+    fn struct_round_trip() {
+        let p = Point {
+            x: -4,
+            y: 2.5,
+            label: "hello \"world\"\n".into(),
+            tags: vec!["a".into(), "b".into()],
+            next: None,
+        };
+        let json = to_string(&p).unwrap();
+        let back: Point = from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn enum_round_trip_all_variant_kinds() {
+        for k in [
+            Kind::Unit,
+            Kind::New(0.125),
+            Kind::Pair(7, true),
+            Kind::Named {
+                a: "x".into(),
+                b: vec![1, 2, 3],
+            },
+        ] {
+            let json = to_string(&k).unwrap();
+            let back: Kind = from_str(&json).unwrap();
+            assert_eq!(back, k, "json was {json}");
+        }
+    }
+
+    #[test]
+    fn unit_variant_is_a_bare_string() {
+        assert_eq!(to_string(&Kind::Unit).unwrap(), "\"Unit\"");
+    }
+
+    #[test]
+    fn maps_round_trip() {
+        let mut m: BTreeMap<String, u64> = BTreeMap::new();
+        m.insert("a".into(), 1);
+        m.insert("b".into(), 2);
+        let json = to_string(&m).unwrap();
+        assert_eq!(json, "{\"a\":1,\"b\":2}");
+        let back: BTreeMap<String, u64> = from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip() {
+        let json = to_string(&f64::INFINITY).unwrap();
+        let back: f64 = from_str(&json).unwrap();
+        assert!(back.is_infinite() && back > 0.0);
+        let back: f64 = from_str(&to_string(&f64::NEG_INFINITY).unwrap()).unwrap();
+        assert!(back.is_infinite() && back < 0.0);
+        let back: f64 = from_str(&to_string(&f64::NAN).unwrap()).unwrap();
+        assert!(back.is_nan());
+    }
+
+    #[test]
+    fn pretty_output_nests() {
+        let p = Point {
+            x: 1,
+            y: 0.0,
+            label: "l".into(),
+            tags: vec![],
+            next: Some(false),
+        };
+        let pretty = to_string_pretty(&p).unwrap();
+        assert!(pretty.contains("\n  \"x\": 1"), "{pretty}");
+        let back: Point = from_str(&pretty).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "tab\t newline\n quote\" backslash\\ unicode\u{1F980} control\u{0007}";
+        let json = to_string(&s.to_string()).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str::<u64>("[1,").is_err());
+        assert!(from_str::<u64>("{\"a\":}").is_err());
+        assert!(from_str::<u64>("12 34").is_err());
+        assert!(from_str::<String>("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn value_round_trip() {
+        let v: Value = from_str("{\"a\":[1,2.5,null,true,\"s\"]}").unwrap();
+        let json = to_string(&v).unwrap();
+        let v2: Value = from_str(&json).unwrap();
+        assert_eq!(v, v2);
+    }
+}

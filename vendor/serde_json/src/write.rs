@@ -1,0 +1,335 @@
+//! JSON emission: a [`serde::Serializer`] writing into a `String`.
+
+use crate::Error;
+use serde::ser::{SerializeMap, SerializeSeq, SerializeStruct};
+use serde::{Serialize, Serializer};
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize(JsonSerializer {
+        out: &mut out,
+        pretty: false,
+        indent: 0,
+    })?;
+    Ok(out)
+}
+
+/// Serializes `value` as 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize(JsonSerializer {
+        out: &mut out,
+        pretty: true,
+        indent: 0,
+    })?;
+    Ok(out)
+}
+
+/// Serializes `value` as compact JSON into an `io::Write`.
+pub fn to_writer<W: std::io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    let json = to_string(value)?;
+    writer
+        .write_all(json.as_bytes())
+        .map_err(|e| Error::new(format!("io error: {e}")))
+}
+
+struct JsonSerializer<'a> {
+    out: &'a mut String,
+    pretty: bool,
+    indent: usize,
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_nan() {
+        out.push_str("null");
+    } else if v == f64::INFINITY {
+        // Rust's float parser saturates overflowing literals to
+        // infinity, so this survives a round-trip through `from_str`.
+        out.push_str("1e999");
+    } else if v == f64::NEG_INFINITY {
+        out.push_str("-1e999");
+    } else {
+        out.push_str(&v.to_string());
+    }
+}
+
+/// Shared state of an in-progress container.
+struct Container<'a> {
+    out: &'a mut String,
+    pretty: bool,
+    indent: usize,
+    has_elements: bool,
+    close: char,
+    /// Set for `{"Variant": [...]}`-style containers, which must close
+    /// the wrapping one-entry object after the payload container.
+    wrap_object: bool,
+}
+
+impl<'a> Container<'a> {
+    fn open(ser: JsonSerializer<'a>, open: char, close: char) -> Self {
+        ser.out.push(open);
+        Container {
+            out: ser.out,
+            pretty: ser.pretty,
+            indent: ser.indent + 1,
+            has_elements: false,
+            close,
+            wrap_object: false,
+        }
+    }
+
+    fn element_separator(&mut self) {
+        if self.has_elements {
+            self.out.push(',');
+        }
+        self.has_elements = true;
+        if self.pretty {
+            self.out.push('\n');
+            for _ in 0..self.indent {
+                self.out.push_str("  ");
+            }
+        }
+    }
+
+    fn value_serializer(&mut self) -> JsonSerializer<'_> {
+        JsonSerializer {
+            out: self.out,
+            pretty: self.pretty,
+            indent: self.indent,
+        }
+    }
+
+    fn finish(self) -> Result<(), Error> {
+        if self.pretty && self.has_elements {
+            self.out.push('\n');
+            for _ in 0..self.indent - 1 {
+                self.out.push_str("  ");
+            }
+        }
+        self.out.push(self.close);
+        if self.wrap_object {
+            if self.pretty {
+                self.out.push('\n');
+                for _ in 0..self.indent.saturating_sub(2) {
+                    self.out.push_str("  ");
+                }
+            }
+            self.out.push('}');
+        }
+        Ok(())
+    }
+}
+
+impl<'a> Serializer for JsonSerializer<'a> {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = Container<'a>;
+    type SerializeMap = Container<'a>;
+    type SerializeStruct = Container<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), Error> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), Error> {
+        write_f64(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), Error> {
+        write_escaped(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_unit(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Container<'a>, Error> {
+        Ok(Container::open(self, '[', ']'))
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<Container<'a>, Error> {
+        Ok(Container::open(self, '{', '}'))
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Container<'a>, Error> {
+        Ok(Container::open(self, '{', '}'))
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<(), Error> {
+        self.serialize_str(variant)
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        let mut map = self.serialize_map(Some(1))?;
+        map.serialize_entry(variant, value)?;
+        SerializeMap::end(map)
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Container<'a>, Error> {
+        // `{"Variant": [` ... `]}` — the container closes the array and
+        // the wrapping object together via the two-char close trick.
+        let mut container = Container::open(self, '{', '}');
+        container.element_separator();
+        write_escaped(container.out, variant);
+        container.out.push(':');
+        if container.pretty {
+            container.out.push(' ');
+        }
+        container.out.push('[');
+        container.has_elements = false;
+        container.close = ']';
+        container.wrap_object = true;
+        Ok(container)
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Container<'a>, Error> {
+        let mut container = Container::open(self, '{', '}');
+        container.element_separator();
+        write_escaped(container.out, variant);
+        container.out.push(':');
+        if container.pretty {
+            container.out.push(' ');
+        }
+        container.out.push('{');
+        container.has_elements = false;
+        container.close = '}';
+        container.wrap_object = true;
+        Ok(container)
+    }
+}
+
+impl SerializeSeq for Container<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        self.element_separator();
+        value.serialize(self.value_serializer())
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl SerializeMap for Container<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), Error> {
+        self.element_separator();
+        // JSON keys must be strings: serialize the key and reject
+        // anything that did not come out as a string literal.
+        let start = self.out.len();
+        key.serialize(self.value_serializer())?;
+        if !self.out[start..].starts_with('"') {
+            return Err(Error::new("JSON map keys must be strings"));
+        }
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+        value.serialize(self.value_serializer())
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl SerializeStruct for Container<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.element_separator();
+        write_escaped(self.out, key);
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+        value.serialize(self.value_serializer())
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}

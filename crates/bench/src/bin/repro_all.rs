@@ -2,11 +2,13 @@
 //! one-shot reproduction entry point referenced by EXPERIMENTS.md.
 //!
 //! Usage: `cargo run --release -p mlam-bench --bin repro_all
-//! [--quick] [--json <dir>]`
+//! [--quick] [--json <dir>] [--force]`
 //!
 //! With `--json <dir>`, also writes `manifest.json`, `metrics.jsonl`,
 //! `events.jsonl` and one `<experiment>.json` per experiment; stdout
-//! is unchanged.
+//! is unchanged. The directory is created recursively; a directory
+//! that already holds a `manifest.json` is refused unless `--force`
+//! is given.
 
 use mlam_bench::{parse_cli, run_all, Session};
 

@@ -38,10 +38,14 @@ pub struct CliOptions {
     /// Write `manifest.json`, `metrics.jsonl`, `events.jsonl` and one
     /// `<experiment>.json` per experiment into this directory.
     pub json_dir: Option<PathBuf>,
+    /// Allow `--json` to overwrite a directory that already holds a
+    /// completed run (a `manifest.json`).
+    pub force: bool,
 }
 
-/// Parses `--quick` and `--json <dir>` from an argument iterator
-/// (unrecognized arguments are ignored, as the binaries always did).
+/// Parses `--quick`, `--json <dir>` and `--force` from an argument
+/// iterator (unrecognized arguments are ignored, as the binaries
+/// always did).
 ///
 /// # Panics
 ///
@@ -56,6 +60,7 @@ pub fn parse_cli<I: IntoIterator<Item = String>>(args: I) -> CliOptions {
                 let dir = iter.next().expect("--json requires a directory argument");
                 options.json_dir = Some(PathBuf::from(dir));
             }
+            "--force" => options.force = true,
             _ => {}
         }
     }
@@ -100,18 +105,21 @@ pub struct ExperimentJson {
 /// [`RunManifest`].
 pub struct Session {
     manifest: RunManifest,
-    json_dir: Option<PathBuf>,
+    run_dir: Option<telemetry::RunDir>,
     started: Instant,
 }
 
 impl Session {
     /// Starts a session for the named tool. When `--json` was given,
-    /// creates the output directory and installs a
-    /// [`telemetry::JsonlSink`] for span events at `events.jsonl`.
+    /// claims the output directory as a [`telemetry::RunDir`] (created
+    /// recursively; an existing `manifest.json` is refused without
+    /// `--force`) and installs a [`telemetry::JsonlSink`] for span
+    /// events at `events.jsonl`.
     ///
     /// # Panics
     ///
-    /// Panics if the JSON output directory cannot be created.
+    /// Panics if the JSON output directory cannot be claimed; the
+    /// message names the offending path.
     pub fn start(tool: &str, options: &CliOptions) -> Session {
         let mut manifest = RunManifest::new(tool, REPRO_SEED, options.quick);
         let version = env!("CARGO_PKG_VERSION");
@@ -120,16 +128,18 @@ impl Session {
                 .crate_versions
                 .push((name.to_string(), version.to_string()));
         }
-        if let Some(dir) = &options.json_dir {
-            std::fs::create_dir_all(dir)
-                .unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
-            let sink = telemetry::JsonlSink::create(dir.join("events.jsonl"))
-                .unwrap_or_else(|e| panic!("cannot open events.jsonl: {e}"));
+        let run_dir = options.json_dir.as_ref().map(|dir| {
+            let run_dir =
+                telemetry::RunDir::create(dir, options.force).unwrap_or_else(|e| panic!("{e}"));
+            let events = run_dir.file("events.jsonl");
+            let sink = telemetry::JsonlSink::create(&events)
+                .unwrap_or_else(|e| panic!("cannot open {}: {e}", events.display()));
             telemetry::add_sink(Box::new(sink));
-        }
+            run_dir
+        });
         Session {
             manifest,
-            json_dir: options.json_dir.clone(),
+            run_dir,
             started: Instant::now(),
         }
     }
@@ -164,7 +174,7 @@ impl Session {
             seconds,
             counters: counters.clone(),
         });
-        if let Some(dir) = &self.json_dir {
+        if let Some(dir) = &self.run_dir {
             let record = ExperimentJson {
                 name: name.to_string(),
                 seed: self.manifest.seed,
@@ -173,7 +183,7 @@ impl Session {
                 counters,
                 tables: render(&value).iter().map(TableJson::from_table).collect(),
             };
-            write_json(&dir.join(format!("{name}.json")), &record);
+            write_json(&dir.file(&format!("{name}.json")), &record);
         }
         value
     }
@@ -184,11 +194,12 @@ impl Session {
     pub fn finish(mut self) -> RunManifest {
         self.manifest.total_seconds = self.started.elapsed().as_secs_f64();
         self.manifest.final_metrics = telemetry::snapshot();
-        if let Some(dir) = &self.json_dir {
-            write_json(&dir.join("manifest.json"), &self.manifest);
-            let path = dir.join("metrics.jsonl");
-            let file = std::fs::File::create(&path)
-                .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+        if let Some(dir) = &self.run_dir {
+            write_json(&dir.file("manifest.json"), &self.manifest);
+            let path = dir.file("metrics.jsonl");
+            let file = dir
+                .create_file("metrics.jsonl")
+                .unwrap_or_else(|e| panic!("{e}"));
             telemetry::write_metrics_jsonl(file, &self.manifest.final_metrics)
                 .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
         }
@@ -389,11 +400,35 @@ mod tests {
 
     #[test]
     fn cli_parses_quick_and_json() {
-        let opts = parse_cli(["bin", "--quick", "--json", "out/dir"].map(String::from));
+        let opts = parse_cli(["bin", "--quick", "--json", "out/dir", "--force"].map(String::from));
         assert!(opts.quick);
+        assert!(opts.force);
         assert_eq!(opts.json_dir.as_deref(), Some(Path::new("out/dir")));
         let none = parse_cli(["bin", "--other"].map(String::from));
         assert_eq!(none, CliOptions::default());
+    }
+
+    #[test]
+    fn session_refuses_to_clobber_a_finished_run() {
+        let dir = std::env::temp_dir().join(format!("mlam_session_clobber_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("manifest.json"), "{}\n").unwrap();
+        let options = CliOptions {
+            quick: true,
+            json_dir: Some(dir.clone()),
+            force: false,
+        };
+        let result = std::panic::catch_unwind(|| Session::start("test-tool", &options));
+        assert!(result.is_err(), "Session::start must refuse to clobber");
+        let forced = CliOptions {
+            force: true,
+            ..options
+        };
+        let session = Session::start("test-tool", &forced);
+        session.finish();
+        assert!(dir.join("metrics.jsonl").is_file());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

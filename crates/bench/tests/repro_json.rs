@@ -28,6 +28,7 @@ fn run_once(dir: &Path) -> RunManifest {
     let options = CliOptions {
         quick: true,
         json_dir: Some(dir.to_path_buf()),
+        force: false,
     };
     let mut session = Session::start("repro_all", &options);
     run_all(&mut session);
@@ -120,6 +121,41 @@ fn quick_json_run_is_complete_and_deterministic() {
         );
     }
 
+    // The span tree reconstructs from ids: every experiment.<name>
+    // span hangs off the bench.run_all root span of its own run.
+    let run_all_ids: Vec<u64> = parsed_events
+        .iter()
+        .filter(|e| e.name == "bench.run_all")
+        .map(|e| e.id)
+        .collect();
+    assert!(!run_all_ids.is_empty(), "bench.run_all span missing");
+    for event in parsed_events
+        .iter()
+        .filter(|e| e.name.starts_with("experiment."))
+    {
+        assert_ne!(event.id, 0);
+        let parent = event.parent_id.expect("experiment spans have a parent");
+        assert!(
+            run_all_ids.contains(&parent),
+            "{} should nest under bench.run_all, parent_id={parent}",
+            event.name
+        );
+    }
+
+    // Chrome-trace export of the real run stays structurally valid:
+    // every B has a matching E per track.
+    let trace = mlam_trace::chrome::export(&parsed_events);
+    let mut open: std::collections::HashMap<u64, Vec<&str>> = std::collections::HashMap::new();
+    for chrome_event in &trace.traceEvents {
+        let stack = open.entry(chrome_event.tid).or_default();
+        match chrome_event.ph.as_str() {
+            "B" => stack.push(&chrome_event.name),
+            "E" => assert_eq!(stack.pop(), Some(chrome_event.name.as_str())),
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+    assert!(open.values().all(|s| s.is_empty()), "unclosed B events");
+
     // Determinism: same seed, same parameter set -> identical counter
     // deltas for every experiment (wall-clock of course differs).
     assert_eq!(manifest_a.experiments.len(), manifest_b.experiments.len());
@@ -131,6 +167,33 @@ fn quick_json_run_is_complete_and_deterministic() {
             a.name
         );
     }
+
+    // mlam-trace compare agrees: two same-seed --quick runs have zero
+    // counter drift. (Wall-clock uses a generous threshold here so
+    // scheduler jitter between the back-to-back runs cannot flake the
+    // test; the strict-threshold exit codes are covered by the
+    // mlam-trace compare_cli test on synthetic manifests.)
+    let options = mlam_trace::compare::CompareOptions {
+        threshold: 2.0,
+        min_wall_s: 1.0,
+    };
+    let report = mlam_trace::compare::compare(&manifest_a, &manifest_b, &options);
+    assert!(
+        !report.has_counter_drift(),
+        "same-seed runs must not drift:\n{}",
+        report.render()
+    );
+    assert!(!report.has_wall_regression(), "{}", report.render());
+
+    // A synthetically slowed run trips the wall-clock gate.
+    let mut slowed = manifest_b.clone();
+    for exp in &mut slowed.experiments {
+        exp.seconds = exp.seconds * 10.0 + 10.0;
+    }
+    slowed.total_seconds = slowed.total_seconds * 10.0 + 10.0;
+    let report = mlam_trace::compare::compare(&manifest_a, &slowed, &options);
+    assert!(report.has_wall_regression(), "{}", report.render());
+    assert!(!report.has_counter_drift());
 
     let _ = std::fs::remove_dir_all(&base);
 }

@@ -12,7 +12,9 @@
 //! - [`span`] — scoped wall-clock timing. [`span::span("name")`] returns
 //!   a guard; dropping it records the elapsed time, feeds the
 //!   per-span-name duration histogram, and emits start/end events to
-//!   the installed sinks.
+//!   the installed sinks. Every event carries a process-unique span id
+//!   and the parent span's id, so `mlam-trace` can rebuild the span
+//!   tree (and export Chrome Trace Format) from `events.jsonl` alone.
 //! - [`metrics`] — process-global named [`Counter`]s (atomic) and
 //!   log₂-bucketed [`Histogram`]s, snapshotted as plain maps so callers
 //!   can diff before/after an experiment.
@@ -23,6 +25,7 @@
 pub mod manifest;
 pub mod metrics;
 pub mod recorder;
+pub mod rundir;
 pub mod span;
 
 pub use manifest::{ExperimentRecord, RunManifest};
@@ -31,6 +34,7 @@ pub use metrics::{
     HistogramSnapshot, MetricLine, MetricsSnapshot,
 };
 pub use recorder::{add_sink, stderr_level, Event, EventKind, JsonlSink, Level, Sink};
+pub use rundir::RunDir;
 pub use span::{span, Span};
 
 /// Looks up (and caches, via a hidden `static`) the named counter, then

@@ -101,7 +101,7 @@ impl Histogram {
 
 /// A point-in-time copy of one histogram: total count, total sum, and
 /// the non-empty `(bucket_index, count)` pairs.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HistogramSnapshot {
     pub count: u64,
     pub sum: u64,
@@ -112,6 +112,45 @@ impl HistogramSnapshot {
     /// Mean observation, or `None` for an empty histogram.
     pub fn mean(&self) -> Option<f64> {
         (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`, clamped) estimated from the
+    /// log₂ buckets, or `None` for an empty histogram.
+    ///
+    /// The estimate is the *inclusive upper edge* of the bucket holding
+    /// the rank-`⌈q·count⌉` observation (`2^i − 1` for bucket `i`, `0`
+    /// for the zero bucket), i.e. a conservative bound that is never
+    /// below the true quantile by more than the bucket width. Bucket
+    /// order in the snapshot is not assumed.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut buckets = self.buckets.clone();
+        buckets.sort_unstable();
+        let mut seen = 0u64;
+        for &(index, n) in &buckets {
+            seen += n;
+            if seen >= rank {
+                return Some(bucket_inclusive_max(index as usize));
+            }
+        }
+        // Buckets should sum to `count`; tolerate a short snapshot by
+        // answering with the largest populated bucket.
+        buckets
+            .last()
+            .map(|&(index, _)| bucket_inclusive_max(index as usize))
+    }
+}
+
+/// The largest value a bucket can hold: `0` for the zero bucket,
+/// `2^i − 1` for bucket `i`, `u64::MAX` for the last bucket.
+fn bucket_inclusive_max(index: usize) -> u64 {
+    match bucket_upper_bound(index) {
+        Some(bound) => bound - 1,
+        None => u64::MAX,
     }
 }
 
@@ -338,6 +377,49 @@ mod tests {
         assert_eq!(buckets[&4], 1); // 8 in [8, 16)
         assert_eq!(buckets[&64], 1); // u64::MAX
         assert_eq!(snap.mean(), Some(snap.sum as f64 / 5.0));
+    }
+
+    #[test]
+    fn percentiles_from_log2_buckets() {
+        let h = histogram_handle("test.metrics.percentile");
+        // 90 fast observations in [4, 8), 10 slow ones in [1024, 2048).
+        for _ in 0..90 {
+            h.observe(5);
+        }
+        for _ in 0..10 {
+            h.observe(1500);
+        }
+        let snap = h.snapshot();
+        // p50 and p90 land in the fast bucket: inclusive max 7.
+        assert_eq!(snap.percentile(0.5), Some(7));
+        assert_eq!(snap.percentile(0.90), Some(7));
+        // p95 and p99 land in the slow bucket: inclusive max 2047.
+        assert_eq!(snap.percentile(0.95), Some(2047));
+        assert_eq!(snap.percentile(0.99), Some(2047));
+        // Extremes clamp to the populated range.
+        assert_eq!(snap.percentile(0.0), Some(7));
+        assert_eq!(snap.percentile(1.0), Some(2047));
+        assert_eq!(snap.percentile(-3.0), Some(7));
+        assert_eq!(snap.percentile(7.0), Some(2047));
+    }
+
+    #[test]
+    fn percentile_handles_zeros_and_extremes() {
+        let h = histogram_handle("test.metrics.percentile_edges");
+        h.observe(0);
+        h.observe(0);
+        h.observe(u64::MAX);
+        let snap = h.snapshot();
+        assert_eq!(snap.percentile(0.5), Some(0), "zero bucket reports 0");
+        assert_eq!(snap.percentile(1.0), Some(u64::MAX));
+        // Unordered snapshots still work.
+        let shuffled = HistogramSnapshot {
+            count: snap.count,
+            sum: snap.sum,
+            buckets: snap.buckets.iter().rev().copied().collect(),
+        };
+        assert_eq!(shuffled.percentile(0.5), Some(0));
+        assert_eq!(HistogramSnapshot::default().percentile(0.5), None);
     }
 
     #[test]

@@ -61,10 +61,22 @@ pub enum EventKind {
 /// One telemetry event. `elapsed_ns` is present on `SpanEnd` only;
 /// `ts_ns` is nanoseconds since the recorder was first touched in this
 /// process (a monotonic clock, not wall time).
+///
+/// `id` is process-unique per span, and `parent_id` names the
+/// enclosing span on the same thread (if any), so post-hoc tools can
+/// reconstruct the full span tree from an `events.jsonl` stream.
+/// `tid` is a small process-unique id of the thread the span started
+/// on (not the OS thread id).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Event {
     pub kind: EventKind,
     pub name: String,
+    /// Process-unique id of the span this event belongs to (never 0).
+    pub id: u64,
+    /// Id of the enclosing span on the starting thread, if any.
+    pub parent_id: Option<u64>,
+    /// Process-unique id of the thread the span started on.
+    pub tid: u64,
     pub depth: usize,
     pub ts_ns: u64,
     pub elapsed_ns: Option<u64>,
@@ -202,6 +214,9 @@ mod tests {
         assert!(end.elapsed_ns.is_some());
         assert!(start.elapsed_ns.is_none());
         assert!(end.ts_ns >= start.ts_ns, "recorder clock is monotonic");
+        assert_ne!(start.id, 0, "spans have non-zero ids");
+        assert_eq!(start.id, end.id, "start/end share the span id");
+        assert_eq!(start.tid, end.tid, "start/end share the thread id");
     }
 
     #[test]

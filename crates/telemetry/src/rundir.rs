@@ -1,0 +1,136 @@
+//! Run-directory hygiene for `--json <dir>` output.
+//!
+//! A [`RunDir`] is the directory a reproduction run writes its
+//! `manifest.json`, `metrics.jsonl`, `events.jsonl` and per-experiment
+//! JSON files into. Creating one:
+//!
+//! - creates the directory **recursively** (`a/b/c` works from scratch);
+//! - refuses to silently clobber a completed run — if the directory
+//!   already holds a `manifest.json`, creation fails unless `force` is
+//!   set (the binaries expose this as `--force`);
+//! - reports every I/O error with the offending path attached.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The file whose presence marks a directory as holding a finished run.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// A prepared run output directory. See the module docs for the
+/// guarantees [`RunDir::create`] makes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunDir {
+    path: PathBuf,
+}
+
+impl RunDir {
+    /// Creates (recursively) and claims `path` for a new run.
+    ///
+    /// Fails with [`io::ErrorKind::AlreadyExists`] if the directory
+    /// already contains a `manifest.json` and `force` is false.
+    pub fn create(path: impl Into<PathBuf>, force: bool) -> io::Result<RunDir> {
+        let path = path.into();
+        std::fs::create_dir_all(&path)
+            .map_err(|e| annotate(e, "cannot create run directory", &path))?;
+        let manifest = path.join(MANIFEST_FILE);
+        if !force && manifest.exists() {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!(
+                    "run directory {} already contains {MANIFEST_FILE}; \
+                     refusing to overwrite an existing run (pass --force to allow)",
+                    path.display()
+                ),
+            ));
+        }
+        Ok(RunDir { path })
+    }
+
+    /// The directory this run writes into.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The path of a file inside the run directory.
+    pub fn file(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+
+    /// Creates (truncating) a file inside the run directory, with the
+    /// full path attached to any error.
+    pub fn create_file(&self, name: &str) -> io::Result<std::fs::File> {
+        let path = self.file(name);
+        std::fs::File::create(&path).map_err(|e| annotate(e, "cannot create", &path))
+    }
+
+    /// Writes `contents` to a file inside the run directory, with the
+    /// full path attached to any error.
+    pub fn write_file(&self, name: &str, contents: impl AsRef<[u8]>) -> io::Result<()> {
+        let path = self.file(name);
+        std::fs::write(&path, contents).map_err(|e| annotate(e, "cannot write", &path))
+    }
+}
+
+/// Attaches context and the offending path to an I/O error.
+pub fn annotate(error: io::Error, what: &str, path: &Path) -> io::Error {
+    io::Error::new(error.kind(), format!("{what} {}: {error}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(label: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("mlam_rundir_{label}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn creates_directories_recursively() {
+        let base = scratch("recursive");
+        let _ = std::fs::remove_dir_all(&base);
+        let nested = base.join("a/b/c");
+        let dir = RunDir::create(&nested, false).expect("recursive create");
+        assert!(nested.is_dir());
+        assert_eq!(dir.path(), nested.as_path());
+        assert_eq!(dir.file("x.json"), nested.join("x.json"));
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn refuses_to_clobber_a_finished_run_without_force() {
+        let base = scratch("clobber");
+        let _ = std::fs::remove_dir_all(&base);
+        let dir = RunDir::create(&base, false).expect("first create");
+        dir.write_file(MANIFEST_FILE, "{}\n")
+            .expect("write manifest");
+        let err = RunDir::create(&base, false).expect_err("must refuse clobber");
+        assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+        let msg = err.to_string();
+        assert!(
+            msg.contains(base.to_string_lossy().as_ref()),
+            "error names the path: {msg}"
+        );
+        assert!(msg.contains("--force"), "error suggests --force: {msg}");
+        // --force (or an unfinished directory) is allowed.
+        RunDir::create(&base, true).expect("force overrides");
+        let _ = std::fs::remove_dir_all(&base);
+        RunDir::create(&base, false).expect("fresh dir after cleanup");
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn io_errors_carry_the_offending_path() {
+        let base = scratch("errors");
+        let _ = std::fs::remove_dir_all(&base);
+        // A run directory cannot be created under a regular file.
+        std::fs::create_dir_all(&base).unwrap();
+        let file = base.join("not_a_dir");
+        std::fs::write(&file, "x").unwrap();
+        let err = RunDir::create(file.join("run"), false).expect_err("file in the way");
+        assert!(
+            err.to_string().contains("not_a_dir"),
+            "error names the path: {err}"
+        );
+        let _ = std::fs::remove_dir_all(&base);
+    }
+}

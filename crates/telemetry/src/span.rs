@@ -1,4 +1,4 @@
-//! RAII spans: scoped, monotonic wall-clock timing with nesting.
+//! RAII spans: scoped, monotonic wall-clock timing with real nesting.
 //!
 //! ```
 //! let _guard = mlam_telemetry::span("table1");
@@ -8,23 +8,96 @@
 //!
 //! Each span also feeds the `span.<name>.micros` histogram, so repeated
 //! spans (e.g. one per SAT-attack iteration) aggregate for free.
+//!
+//! # Span identity and the tree
+//!
+//! Every span gets a process-unique `u64` id; a thread-local stack
+//! supplies the id of the enclosing span, so every [`Event`] carries
+//! `(id, parent_id, tid)` and post-hoc tools (`mlam-trace`) can rebuild
+//! the exact span tree from an `events.jsonl` stream — no guessing from
+//! depth counters.
+//!
+//! # Deferred start events
+//!
+//! [`Span::attr`] chains *after* construction, so the `SpanStart` event
+//! is not dispatched inside [`span`]: it is deferred until the span is
+//! first *used* — when a child span starts underneath it, or at drop —
+//! by which point the builder chain has completed and the start event
+//! carries every attribute. The deferred event keeps the timestamp
+//! captured at construction, so per-thread event streams stay in
+//! correct nesting order with monotone timestamps.
 
 use crate::recorder::{self, Event, EventKind};
-use std::cell::Cell;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+/// Process-wide span id allocator; 0 is reserved as "no span".
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+/// Process-wide thread id allocator for telemetry (small, dense ids).
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
 thread_local! {
-    static DEPTH: Cell<usize> = const { Cell::new(0) };
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+}
+
+fn current_tid() -> u64 {
+    THREAD_ID.with(|t| *t)
+}
+
+/// Per-thread bookkeeping for one live span. Attributes are mirrored
+/// here so that a *descendant* span (or the drop path) can dispatch
+/// this span's deferred start event with the attrs that were set by
+/// the time it was first used.
+struct Frame {
+    id: u64,
+    parent_id: Option<u64>,
+    name: String,
+    depth: usize,
+    start_ts_ns: u64,
+    attrs: Vec<(String, String)>,
+    started: bool,
+}
+
+impl Frame {
+    fn start_event(&self, tid: u64) -> Event {
+        Event {
+            kind: EventKind::SpanStart,
+            name: self.name.clone(),
+            id: self.id,
+            parent_id: self.parent_id,
+            tid,
+            depth: self.depth,
+            ts_ns: self.start_ts_ns,
+            elapsed_ns: None,
+            attrs: self.attrs.clone(),
+        }
+    }
+}
+
+/// Dispatches the pending start events of every not-yet-started frame,
+/// outermost first, marking them started.
+fn flush_pending_starts(stack: &mut [Frame], tid: u64) {
+    for frame in stack.iter_mut() {
+        if !frame.started {
+            frame.started = true;
+            recorder::dispatch(&frame.start_event(tid));
+        }
+    }
 }
 
 /// Starts a named span; timing stops when the returned guard drops.
 pub fn span(name: impl Into<String>) -> Span {
-    Span::new(name.into(), Vec::new())
+    Span::new(name.into())
 }
 
 /// A live span. Construct via [`span`]; attach context with
 /// [`Span::attr`].
 pub struct Span {
+    id: u64,
+    parent_id: Option<u64>,
+    tid: u64,
     name: String,
     start: Instant,
     depth: usize,
@@ -32,52 +105,101 @@ pub struct Span {
 }
 
 impl Span {
-    fn new(name: String, attrs: Vec<(String, String)>) -> Span {
-        let depth = DEPTH.with(|d| {
-            let depth = d.get();
-            d.set(depth + 1);
-            depth
-        });
-        let span = Span {
-            name,
-            start: Instant::now(),
-            depth,
-            attrs,
-        };
-        recorder::dispatch(&span.event(EventKind::SpanStart, None));
-        span
+    fn new(name: String) -> Span {
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let tid = current_tid();
+        let start_ts_ns = recorder::now_ns();
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // A child is the first "use" of its ancestors: their start
+            // events (with completed attr chains) go out now, in stack
+            // order, before this span can emit anything.
+            flush_pending_starts(&mut stack, tid);
+            let parent_id = stack.last().map(|f| f.id);
+            let depth = stack.len();
+            stack.push(Frame {
+                id,
+                parent_id,
+                name: name.clone(),
+                depth,
+                start_ts_ns,
+                attrs: Vec::new(),
+                started: false,
+            });
+            Span {
+                id,
+                parent_id,
+                tid,
+                name,
+                start: Instant::now(),
+                depth,
+                attrs: Vec::new(),
+            }
+        })
     }
 
-    /// Attaches a key/value shown on this span's events.
+    /// Attaches a key/value shown on this span's events. Attributes
+    /// set before the span is first used (child span or drop) appear
+    /// on the start event too; later ones ride on the end event only.
     pub fn attr(mut self, key: impl Into<String>, value: impl std::fmt::Display) -> Span {
-        self.attrs.push((key.into(), value.to_string()));
+        let key = key.into();
+        let value = value.to_string();
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if let Some(frame) = stack.iter_mut().find(|f| f.id == self.id) {
+                if !frame.started {
+                    frame.attrs.push((key.clone(), value.clone()));
+                }
+            }
+        });
+        self.attrs.push((key, value));
         self
+    }
+
+    /// This span's process-unique id (never 0).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The id of the span this one nests inside, if any.
+    pub fn parent_id(&self) -> Option<u64> {
+        self.parent_id
     }
 
     /// Time since the span started (monotonic).
     pub fn elapsed(&self) -> Duration {
         self.start.elapsed()
     }
-
-    fn event(&self, kind: EventKind, elapsed_ns: Option<u64>) -> Event {
-        Event {
-            kind,
-            name: self.name.clone(),
-            depth: self.depth,
-            ts_ns: recorder::now_ns(),
-            elapsed_ns,
-            attrs: self.attrs.clone(),
-        }
-    }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
         let elapsed = self.start.elapsed();
-        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
         crate::metrics::histogram_handle(&format!("span.{}.micros", self.name))
             .observe(elapsed.as_micros() as u64);
-        recorder::dispatch(&self.event(EventKind::SpanEnd, Some(elapsed.as_nanos() as u64)));
+        // Retire this span's frame. Only the innermost frame can still
+        // be unstarted (ancestors were flushed when it was pushed), so
+        // a pending start goes out here, right before the end event.
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|f| f.id == self.id) {
+                let frame = stack.remove(pos);
+                if !frame.started {
+                    recorder::dispatch(&frame.start_event(self.tid));
+                }
+            }
+        });
+        recorder::dispatch(&Event {
+            kind: EventKind::SpanEnd,
+            name: self.name.clone(),
+            id: self.id,
+            parent_id: self.parent_id,
+            tid: self.tid,
+            depth: self.depth,
+            ts_ns: recorder::now_ns(),
+            elapsed_ns: Some(elapsed.as_nanos() as u64),
+            attrs: self.attrs.clone(),
+        });
     }
 }
 
@@ -141,6 +263,71 @@ mod tests {
             .position(|e| e.name == "span-inner" && e.kind == EventKind::SpanEnd)
             .expect("inner end idx");
         assert!(inner_end_idx < outer_end_idx);
+        // And the start events come out outermost first.
+        let outer_start_idx = events.iter().position(|e| std::ptr::eq(e, outer)).unwrap();
+        let inner_start_idx = events.iter().position(|e| std::ptr::eq(e, inner)).unwrap();
+        assert!(outer_start_idx < inner_start_idx);
+    }
+
+    #[test]
+    fn span_tree_ids_link_children_to_parents() {
+        let (tx, rx) = mpsc::channel();
+        add_sink(Box::new(ChannelSink(tx)));
+        {
+            let outer = span("span-tree-outer");
+            let outer_id = outer.id();
+            assert_ne!(outer_id, 0);
+            {
+                let inner = span("span-tree-inner");
+                assert_eq!(inner.parent_id(), Some(outer_id));
+                assert_ne!(inner.id(), outer_id);
+            }
+            {
+                let sibling = span("span-tree-sibling");
+                assert_eq!(sibling.parent_id(), Some(outer_id));
+            }
+        }
+        let events: Vec<Event> = rx.try_iter().collect();
+        let outer_start = events
+            .iter()
+            .find(|e| e.name == "span-tree-outer" && e.kind == EventKind::SpanStart)
+            .expect("outer start");
+        assert_eq!(outer_start.parent_id, None);
+        for name in ["span-tree-inner", "span-tree-sibling"] {
+            for kind in [EventKind::SpanStart, EventKind::SpanEnd] {
+                let event = events
+                    .iter()
+                    .find(|e| e.name == name && e.kind == kind)
+                    .expect("child event");
+                assert_eq!(event.parent_id, Some(outer_start.id), "{name} parent");
+                assert_eq!(event.tid, outer_start.tid, "{name} tid");
+            }
+        }
+    }
+
+    #[test]
+    fn span_ids_are_distinct_across_threads() {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    let s = span("span-threaded");
+                    (s.id(), current_tid())
+                })
+            })
+            .collect();
+        let mut ids = Vec::new();
+        let mut tids = Vec::new();
+        for h in handles {
+            let (id, tid) = h.join().unwrap();
+            ids.push(id);
+            tids.push(tid);
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4, "span ids are process-unique");
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), 4, "telemetry thread ids are per-thread");
     }
 
     #[test]
@@ -165,5 +352,85 @@ mod tests {
             .expect("end event");
         assert!(end.attrs.contains(&("n".to_string(), "32".to_string())));
         assert!(end.attrs.contains(&("k".to_string(), "4".to_string())));
+    }
+
+    /// Regression test: `SpanStart` used to be dispatched inside
+    /// `Span::new`, *before* the `.attr()` chain ran, so start events
+    /// never carried attributes. The start event is now deferred until
+    /// first use, so it must see the constructor attrs — both when the
+    /// first use is a child span and when it is the drop itself.
+    #[test]
+    fn start_events_carry_constructor_attrs() {
+        let (tx, rx) = mpsc::channel();
+        add_sink(Box::new(ChannelSink(tx)));
+        {
+            let _outer = span("span-attr-order").attr("n", 64).attr("mode", "quick");
+            let _child = span("span-attr-order-child");
+        }
+        {
+            let _leaf = span("span-attr-order-leaf").attr("k", 8);
+        }
+        let events: Vec<Event> = rx.try_iter().collect();
+        let outer_start = events
+            .iter()
+            .find(|e| e.name == "span-attr-order" && e.kind == EventKind::SpanStart)
+            .expect("outer start");
+        assert!(
+            outer_start
+                .attrs
+                .contains(&("n".to_string(), "64".to_string())),
+            "start event lost its attrs: {:?}",
+            outer_start.attrs
+        );
+        assert!(outer_start
+            .attrs
+            .contains(&("mode".to_string(), "quick".to_string())));
+        // The parent's start must still be dispatched before the child's.
+        let outer_idx = events
+            .iter()
+            .position(|e| e.name == "span-attr-order" && e.kind == EventKind::SpanStart)
+            .unwrap();
+        let child_idx = events
+            .iter()
+            .position(|e| e.name == "span-attr-order-child" && e.kind == EventKind::SpanStart)
+            .unwrap();
+        assert!(outer_idx < child_idx);
+        let leaf_start = events
+            .iter()
+            .find(|e| e.name == "span-attr-order-leaf" && e.kind == EventKind::SpanStart)
+            .expect("leaf start");
+        assert!(leaf_start
+            .attrs
+            .contains(&("k".to_string(), "8".to_string())));
+    }
+
+    /// The deferred start event keeps the construction-time timestamp,
+    /// so per-thread streams stay timestamp-monotone in dispatch order.
+    #[test]
+    fn deferred_start_keeps_original_timestamp() {
+        let (tx, rx) = mpsc::channel();
+        add_sink(Box::new(ChannelSink(tx)));
+        {
+            let _span = span("span-deferred-ts");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let events: Vec<Event> = rx
+            .try_iter()
+            .filter(|e| e.name == "span-deferred-ts")
+            .collect();
+        let start = events
+            .iter()
+            .find(|e| e.kind == EventKind::SpanStart)
+            .expect("start");
+        let end = events
+            .iter()
+            .find(|e| e.kind == EventKind::SpanEnd)
+            .expect("end");
+        assert!(
+            end.ts_ns.saturating_sub(start.ts_ns) >= 4_000_000,
+            "start ts must predate end ts by the sleep: start={} end={}",
+            start.ts_ns,
+            end.ts_ns
+        );
     }
 }

@@ -1,0 +1,75 @@
+//! The `BENCH_*.json` perf-trajectory record: one entry per
+//! experiment with wall-clock and the adversary-budget counters the
+//! paper ranks attacks by (Table I / Sec. III) — oracle queries and
+//! SAT conflicts.
+
+use mlam_telemetry::RunManifest;
+use serde::{Deserialize, Serialize};
+
+/// One experiment's perf-trajectory entry.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BenchEntry {
+    pub name: String,
+    /// Wall-clock inside the experiment driver, nanoseconds.
+    pub wall_ns: u64,
+    /// Total `oracle.*` counter increments (example, membership and
+    /// equivalence queries).
+    pub queries: u64,
+    /// `sat.conflicts` increments.
+    pub sat_conflicts: u64,
+}
+
+/// Extracts the per-experiment entries from a run manifest.
+pub fn bench_entries(manifest: &RunManifest) -> Vec<BenchEntry> {
+    manifest
+        .experiments
+        .iter()
+        .map(|exp| BenchEntry {
+            name: exp.name.clone(),
+            wall_ns: (exp.seconds * 1e9).round() as u64,
+            queries: exp
+                .counters
+                .iter()
+                .filter(|(k, _)| k.starts_with("oracle."))
+                .map(|(_, v)| *v)
+                .sum(),
+            sat_conflicts: exp.counters.get("sat.conflicts").copied().unwrap_or(0),
+        })
+        .collect()
+}
+
+/// Serializes the entries as the pretty-JSON array CI publishes.
+pub fn to_json(entries: &[BenchEntry]) -> Result<String, serde_json::Error> {
+    serde_json::to_string_pretty(&entries.to_vec()).map(|s| s + "\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlam_telemetry::ExperimentRecord;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn entries_sum_oracle_counters() {
+        let mut manifest = RunManifest::new("repro_all", 1, true);
+        manifest.experiments.push(ExperimentRecord {
+            name: "table1".into(),
+            seconds: 1.5,
+            counters: BTreeMap::from([
+                ("oracle.example_queries".to_string(), 2000u64),
+                ("oracle.membership_queries".to_string(), 30u64),
+                ("sat.conflicts".to_string(), 7u64),
+                ("learn.perceptron.epochs".to_string(), 99u64),
+            ]),
+        });
+        let entries = bench_entries(&manifest);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].name, "table1");
+        assert_eq!(entries[0].wall_ns, 1_500_000_000);
+        assert_eq!(entries[0].queries, 2030);
+        assert_eq!(entries[0].sat_conflicts, 7);
+        let json = to_json(&entries).unwrap();
+        let back: Vec<BenchEntry> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, entries);
+    }
+}

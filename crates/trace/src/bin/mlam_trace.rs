@@ -1,0 +1,249 @@
+//! `mlam-trace` — post-hoc analysis of `--json <dir>` run output.
+//!
+//! ```text
+//! mlam-trace export  <run-dir|events.jsonl> [-o trace.json]
+//! mlam-trace profile <run-dir>
+//! mlam-trace compare <baseline-dir> <current-dir>
+//!                    [--threshold 0.2] [--min-wall-ms 100] [--warn-only]
+//! mlam-trace bench   <run-dir> [-o BENCH.json]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` wall-clock regression beyond the
+//! threshold (suppressed by `--warn-only`), `2` correctness-counter
+//! drift or structural mismatch (never suppressed), `64` usage or I/O
+//! error.
+
+use mlam_trace::{bench_json, chrome, compare, profile, RunData};
+use std::path::PathBuf;
+
+const EXIT_OK: i32 = 0;
+const EXIT_WALL_REGRESSION: i32 = 1;
+const EXIT_COUNTER_DRIFT: i32 = 2;
+const EXIT_USAGE: i32 = 64;
+
+const USAGE: &str = "mlam-trace: turn telemetry run output into profiles and diffs
+
+USAGE:
+    mlam-trace export  <run-dir|events.jsonl> [-o <trace.json>]
+        Convert span events to Chrome Trace Format (open in Perfetto
+        or chrome://tracing). Default output: <run-dir>/trace.json.
+
+    mlam-trace profile <run-dir>
+        Print the inclusive/self-time span tree with call counts and
+        p50/p95 latencies, siblings sorted by self time.
+
+    mlam-trace compare <baseline-dir> <current-dir>
+               [--threshold <ratio>] [--min-wall-ms <ms>] [--warn-only]
+        Diff two runs. Correctness counters must be bit-identical
+        (exit 2 on drift, never suppressed); wall-clock regressions
+        beyond the threshold (default 0.2 = +20%, noise floor
+        --min-wall-ms, default 100) exit 1 unless --warn-only.
+
+    mlam-trace bench   <run-dir> [-o <BENCH.json>]
+        Emit the perf-trajectory record: per experiment
+        {name, wall_ns, queries, sat_conflicts}. Default: stdout.
+";
+
+fn main() {
+    std::process::exit(real_main());
+}
+
+fn real_main() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("export") => cmd_export(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("--help" | "-h" | "help") => {
+            print!("{USAGE}");
+            EXIT_OK
+        }
+        Some(other) => {
+            eprintln!("mlam-trace: unknown subcommand '{other}'\n\n{USAGE}");
+            EXIT_USAGE
+        }
+        None => {
+            eprint!("{USAGE}");
+            EXIT_USAGE
+        }
+    }
+}
+
+/// Splits `args` into positionals and `-o <path>`, rejecting anything
+/// else not listed in `flags`/`valued`.
+struct Parsed {
+    positionals: Vec<String>,
+    output: Option<PathBuf>,
+    threshold: f64,
+    min_wall_ms: u64,
+    warn_only: bool,
+}
+
+fn parse(args: &[String], allow_compare_flags: bool) -> Result<Parsed, String> {
+    let mut parsed = Parsed {
+        positionals: Vec::new(),
+        output: None,
+        threshold: 0.20,
+        min_wall_ms: 100,
+        warn_only: false,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "-o" | "--output" => {
+                let value = iter.next().ok_or("missing value for -o/--output")?;
+                parsed.output = Some(PathBuf::from(value));
+            }
+            "--threshold" if allow_compare_flags => {
+                let value = iter.next().ok_or("missing value for --threshold")?;
+                parsed.threshold = value
+                    .parse()
+                    .map_err(|e| format!("bad --threshold '{value}': {e}"))?;
+            }
+            "--min-wall-ms" if allow_compare_flags => {
+                let value = iter.next().ok_or("missing value for --min-wall-ms")?;
+                parsed.min_wall_ms = value
+                    .parse()
+                    .map_err(|e| format!("bad --min-wall-ms '{value}': {e}"))?;
+            }
+            "--warn-only" if allow_compare_flags => parsed.warn_only = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag '{other}'"));
+            }
+            _ => parsed.positionals.push(arg.clone()),
+        }
+    }
+    Ok(parsed)
+}
+
+fn usage_error(message: impl std::fmt::Display) -> i32 {
+    eprintln!("mlam-trace: {message}");
+    eprintln!("(run 'mlam-trace --help' for usage)");
+    EXIT_USAGE
+}
+
+fn cmd_export(args: &[String]) -> i32 {
+    let parsed = match parse(args, false) {
+        Ok(p) => p,
+        Err(e) => return usage_error(e),
+    };
+    let [input] = parsed.positionals.as_slice() else {
+        return usage_error("export takes exactly one run directory (or events.jsonl)");
+    };
+    let run = match RunData::load(input) {
+        Ok(run) => run,
+        Err(e) => return usage_error(e),
+    };
+    if run.events.is_empty() {
+        return usage_error(format!("no span events found under {input}"));
+    }
+    let trace = chrome::export(&run.events);
+    let json = match chrome::to_json(&trace) {
+        Ok(json) => json,
+        Err(e) => return usage_error(e),
+    };
+    let output = parsed.output.unwrap_or_else(|| run.dir.join("trace.json"));
+    if let Err(e) = std::fs::write(&output, json) {
+        return usage_error(format!("cannot write {}: {e}", output.display()));
+    }
+    println!(
+        "wrote {} ({} events) — open in https://ui.perfetto.dev or chrome://tracing",
+        output.display(),
+        trace.traceEvents.len()
+    );
+    EXIT_OK
+}
+
+fn cmd_profile(args: &[String]) -> i32 {
+    let parsed = match parse(args, false) {
+        Ok(p) => p,
+        Err(e) => return usage_error(e),
+    };
+    let [input] = parsed.positionals.as_slice() else {
+        return usage_error("profile takes exactly one run directory");
+    };
+    let run = match RunData::load(input) {
+        Ok(run) => run,
+        Err(e) => return usage_error(e),
+    };
+    let root = profile::span_tree(&run.events);
+    print!("{}", profile::render(&root, &run.histograms));
+    EXIT_OK
+}
+
+fn cmd_compare(args: &[String]) -> i32 {
+    let parsed = match parse(args, true) {
+        Ok(p) => p,
+        Err(e) => return usage_error(e),
+    };
+    let [baseline_dir, current_dir] = parsed.positionals.as_slice() else {
+        return usage_error("compare takes exactly two run directories");
+    };
+    let baseline = match RunData::load(baseline_dir) {
+        Ok(run) => run,
+        Err(e) => return usage_error(e),
+    };
+    let current = match RunData::load(current_dir) {
+        Ok(run) => run,
+        Err(e) => return usage_error(e),
+    };
+    let (Some(base_manifest), Some(cur_manifest)) = (&baseline.manifest, &current.manifest) else {
+        return usage_error("compare needs a manifest.json in both run directories");
+    };
+    let options = compare::CompareOptions {
+        threshold: parsed.threshold,
+        min_wall_s: parsed.min_wall_ms as f64 / 1000.0,
+    };
+    let mut report = compare::compare(base_manifest, cur_manifest, &options);
+    report.span_notes = compare::span_movers(&baseline.histograms, &current.histograms, &options);
+    print!("{}", report.render());
+    if report.has_counter_drift() {
+        eprintln!("mlam-trace: counter drift — the runs differ behaviorally, not just in speed");
+        return EXIT_COUNTER_DRIFT;
+    }
+    if report.has_wall_regression() {
+        if parsed.warn_only {
+            eprintln!("mlam-trace: wall-clock regression (suppressed by --warn-only)");
+            return EXIT_OK;
+        }
+        eprintln!(
+            "mlam-trace: wall-clock regression beyond +{:.0}%",
+            options.threshold * 100.0
+        );
+        return EXIT_WALL_REGRESSION;
+    }
+    EXIT_OK
+}
+
+fn cmd_bench(args: &[String]) -> i32 {
+    let parsed = match parse(args, false) {
+        Ok(p) => p,
+        Err(e) => return usage_error(e),
+    };
+    let [input] = parsed.positionals.as_slice() else {
+        return usage_error("bench takes exactly one run directory");
+    };
+    let run = match RunData::load(input) {
+        Ok(run) => run,
+        Err(e) => return usage_error(e),
+    };
+    let Some(manifest) = &run.manifest else {
+        return usage_error(format!("no manifest.json under {input}"));
+    };
+    let entries = bench_json::bench_entries(manifest);
+    let json = match bench_json::to_json(&entries) {
+        Ok(json) => json,
+        Err(e) => return usage_error(e),
+    };
+    match parsed.output {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                return usage_error(format!("cannot write {}: {e}", path.display()));
+            }
+            println!("wrote {} ({} experiments)", path.display(), entries.len());
+        }
+        None => print!("{json}"),
+    }
+    EXIT_OK
+}

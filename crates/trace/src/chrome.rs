@@ -1,0 +1,131 @@
+//! Chrome Trace Format export.
+//!
+//! Converts an `events.jsonl` span stream into the JSON object format
+//! understood by Perfetto and `chrome://tracing`: a `traceEvents`
+//! array of duration events (`ph: "B"` / `ph: "E"`), one track per
+//! telemetry thread id, timestamps in microseconds. Span attributes —
+//! plus the span id and parent span id — are carried in `args`, so
+//! nothing from the original stream is lost.
+//!
+//! Per-thread event order in `events.jsonl` is already stack-correct
+//! (the recorder dispatches a parent's deferred start before any child
+//! event), so events are emitted in file order and B/E matching works
+//! without re-sorting.
+
+use mlam_telemetry::{Event, EventKind};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The process id used for all tracks (the pipeline is one process).
+pub const TRACE_PID: u64 = 1;
+
+/// A Chrome Trace Format document (the "JSON Object Format").
+#[allow(non_snake_case)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChromeTrace {
+    pub traceEvents: Vec<ChromeEvent>,
+    pub displayTimeUnit: String,
+}
+
+/// One duration event. `ts` is microseconds from the recorder epoch.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChromeEvent {
+    pub name: String,
+    pub cat: String,
+    pub ph: String,
+    pub ts: f64,
+    pub pid: u64,
+    pub tid: u64,
+    pub args: BTreeMap<String, String>,
+}
+
+/// Converts a span event stream into a Chrome trace document.
+pub fn export(events: &[Event]) -> ChromeTrace {
+    let trace_events = events
+        .iter()
+        .map(|event| {
+            let mut args: BTreeMap<String, String> = event.attrs.iter().cloned().collect();
+            args.insert("span_id".into(), event.id.to_string());
+            if let Some(parent) = event.parent_id {
+                args.insert("parent_span_id".into(), parent.to_string());
+            }
+            ChromeEvent {
+                name: event.name.clone(),
+                cat: "span".into(),
+                ph: match event.kind {
+                    EventKind::SpanStart => "B",
+                    EventKind::SpanEnd => "E",
+                }
+                .into(),
+                ts: event.ts_ns as f64 / 1_000.0,
+                pid: TRACE_PID,
+                tid: event.tid,
+                args,
+            }
+        })
+        .collect();
+    ChromeTrace {
+        traceEvents: trace_events,
+        displayTimeUnit: "ms".into(),
+    }
+}
+
+/// Serializes the trace as pretty JSON (what `mlam-trace export`
+/// writes as `trace.json`).
+pub fn to_json(trace: &ChromeTrace) -> Result<String, serde_json::Error> {
+    serde_json::to_string_pretty(trace).map(|s| s + "\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(kind: EventKind, name: &str, id: u64, parent: Option<u64>, ts_ns: u64) -> Event {
+        Event {
+            kind,
+            name: name.into(),
+            id,
+            parent_id: parent,
+            tid: 1,
+            depth: 0,
+            ts_ns,
+            elapsed_ns: matches!(kind, EventKind::SpanEnd).then_some(1),
+            attrs: vec![("k".into(), "v".into())],
+        }
+    }
+
+    #[test]
+    fn export_maps_kinds_and_timestamps() {
+        let events = vec![
+            event(EventKind::SpanStart, "outer", 1, None, 1_000),
+            event(EventKind::SpanStart, "inner", 2, Some(1), 2_000),
+            event(EventKind::SpanEnd, "inner", 2, Some(1), 3_000),
+            event(EventKind::SpanEnd, "outer", 1, None, 4_000),
+        ];
+        let trace = export(&events);
+        assert_eq!(trace.traceEvents.len(), 4);
+        let first = &trace.traceEvents[0];
+        assert_eq!(first.ph, "B");
+        assert_eq!(first.ts, 1.0, "ns convert to µs");
+        assert_eq!(first.pid, TRACE_PID);
+        assert_eq!(first.args["span_id"], "1");
+        assert_eq!(first.args["k"], "v");
+        assert!(!first.args.contains_key("parent_span_id"));
+        let inner = &trace.traceEvents[1];
+        assert_eq!(inner.args["parent_span_id"], "1");
+        assert_eq!(trace.traceEvents[3].ph, "E");
+    }
+
+    #[test]
+    fn trace_round_trips_through_serde() {
+        let events = vec![
+            event(EventKind::SpanStart, "a", 1, None, 10),
+            event(EventKind::SpanEnd, "a", 1, None, 20),
+        ];
+        let trace = export(&events);
+        let json = to_json(&trace).unwrap();
+        let back: ChromeTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, trace);
+        assert_eq!(back.displayTimeUnit, "ms");
+    }
+}

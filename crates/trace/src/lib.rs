@@ -1,0 +1,28 @@
+//! Post-hoc analysis of `mlam-telemetry` runs — the consumer side of
+//! the observability pipeline.
+//!
+//! A reproduction run (`repro_all --quick --json <dir>`) leaves behind
+//! a run directory with `events.jsonl` (span start/end events carrying
+//! span ids and parent ids), `metrics.jsonl` (counters and log₂
+//! histograms) and `manifest.json` (per-experiment wall-clock and
+//! counter deltas). This crate, and the `mlam-trace` binary built on
+//! it, turn those streams into:
+//!
+//! - [`chrome`] — Chrome Trace Format (`trace.json`) loadable in
+//!   Perfetto / `chrome://tracing`;
+//! - [`profile`] — an inclusive/self-time span tree with call counts
+//!   and p50/p95 latencies, sorted by self time;
+//! - [`compare`] — a cross-run diff that flags wall-clock regressions
+//!   beyond a threshold and *enforces* bit-identical correctness
+//!   counters (oracle queries, SAT conflicts) for same-seed runs;
+//! - [`bench_json`] — the `BENCH_*.json` perf-trajectory records CI
+//!   publishes (`{name, wall_ns, queries, sat_conflicts}` per
+//!   experiment).
+
+pub mod bench_json;
+pub mod chrome;
+pub mod compare;
+pub mod profile;
+pub mod run;
+
+pub use run::RunData;

@@ -1,0 +1,319 @@
+//! Flamegraph-style text profile: the span tree aggregated by call
+//! path, with inclusive/self time, call counts, and p50/p95 latencies
+//! from the `span.<name>.micros` histograms.
+
+use mlam_telemetry::{Event, EventKind, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One aggregated call-path node of the span tree.
+#[derive(Clone, Debug)]
+pub struct Node {
+    pub name: String,
+    /// Completed span instances at this path.
+    pub count: u64,
+    /// Spans that started here but never ended (crash / truncation);
+    /// they contribute their last-seen extent to `inclusive_ns`.
+    pub unclosed: u64,
+    /// Total wall-clock inside spans at this path, children included.
+    pub inclusive_ns: u64,
+    pub children: Vec<Node>,
+}
+
+impl Node {
+    fn new(name: &str) -> Node {
+        Node {
+            name: name.to_string(),
+            count: 0,
+            unclosed: 0,
+            inclusive_ns: 0,
+            children: Vec::new(),
+        }
+    }
+
+    /// Wall-clock at this path minus the children's inclusive time.
+    pub fn self_ns(&self) -> u64 {
+        let children: u64 = self.children.iter().map(|c| c.inclusive_ns).sum();
+        self.inclusive_ns.saturating_sub(children)
+    }
+
+    fn sort_by_self_time(&mut self) {
+        for child in &mut self.children {
+            child.sort_by_self_time();
+        }
+        self.children
+            .sort_by(|a, b| b.self_ns().cmp(&a.self_ns()).then(a.name.cmp(&b.name)));
+    }
+}
+
+/// Rebuilds the aggregated span tree from an event stream. The
+/// returned synthetic root has inclusive time equal to the sum of its
+/// top-level children.
+pub fn span_tree(events: &[Event]) -> Node {
+    // Arena of aggregation nodes, keyed per-parent by span name.
+    struct Agg {
+        name: String,
+        parent: usize,
+        children: BTreeMap<String, usize>,
+        count: u64,
+        unclosed: u64,
+        inclusive_ns: u64,
+    }
+    let mut arena: Vec<Agg> = vec![Agg {
+        name: String::new(),
+        parent: 0,
+        children: BTreeMap::new(),
+        count: 0,
+        unclosed: 0,
+        inclusive_ns: 0,
+    }];
+    // Live (and finished) span id -> arena node, plus start ts for
+    // spans that never end.
+    let mut node_of_span: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut start_ts: BTreeMap<u64, u64> = BTreeMap::new();
+    let max_ts = events.iter().map(|e| e.ts_ns).max().unwrap_or(0);
+
+    let child_node = |arena: &mut Vec<Agg>, parent_idx: usize, name: &str| -> usize {
+        if let Some(&idx) = arena[parent_idx].children.get(name) {
+            return idx;
+        }
+        let idx = arena.len();
+        arena.push(Agg {
+            name: name.to_string(),
+            parent: parent_idx,
+            children: BTreeMap::new(),
+            count: 0,
+            unclosed: 0,
+            inclusive_ns: 0,
+        });
+        arena[parent_idx].children.insert(name.to_string(), idx);
+        idx
+    };
+
+    for event in events {
+        match event.kind {
+            EventKind::SpanStart => {
+                let parent_idx = event
+                    .parent_id
+                    .and_then(|p| node_of_span.get(&p).copied())
+                    .unwrap_or(0);
+                let idx = child_node(&mut arena, parent_idx, &event.name);
+                node_of_span.insert(event.id, idx);
+                start_ts.insert(event.id, event.ts_ns);
+            }
+            EventKind::SpanEnd => {
+                // An end without a start (truncated stream) attaches
+                // where its parent does, or under the root.
+                let idx = node_of_span.get(&event.id).copied().unwrap_or_else(|| {
+                    let parent_idx = event
+                        .parent_id
+                        .and_then(|p| node_of_span.get(&p).copied())
+                        .unwrap_or(0);
+                    let idx = child_node(&mut arena, parent_idx, &event.name);
+                    node_of_span.insert(event.id, idx);
+                    idx
+                });
+                start_ts.remove(&event.id);
+                arena[idx].count += 1;
+                arena[idx].inclusive_ns += event.elapsed_ns.unwrap_or(0);
+            }
+        }
+    }
+    // Spans that never ended: charge their extent up to the last event.
+    for (id, ts) in start_ts {
+        if let Some(&idx) = node_of_span.get(&id) {
+            arena[idx].unclosed += 1;
+            arena[idx].inclusive_ns += max_ts.saturating_sub(ts);
+        }
+    }
+
+    // Freeze the arena into an owned tree (children built bottom-up:
+    // arena indices only ever point forward, so reverse order works).
+    let mut built: Vec<Option<Node>> = arena
+        .iter()
+        .map(|a| {
+            let mut node = Node::new(&a.name);
+            node.count = a.count;
+            node.unclosed = a.unclosed;
+            node.inclusive_ns = a.inclusive_ns;
+            Some(node)
+        })
+        .collect();
+    for idx in (1..arena.len()).rev() {
+        let node = built[idx].take().expect("each node is taken once");
+        let parent = arena[idx].parent;
+        built[parent]
+            .as_mut()
+            .expect("parent still present")
+            .children
+            .push(node);
+    }
+    let mut root = built[0].take().expect("root");
+    root.inclusive_ns = root.children.iter().map(|c| c.inclusive_ns).sum();
+    root.sort_by_self_time();
+    root
+}
+
+fn fmt_ns(ns: u64) -> String {
+    let secs = ns as f64 / 1e9;
+    if secs >= 1.0 {
+        format!("{secs:.3}s")
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    }
+}
+
+fn fmt_micros(us: Option<u64>) -> String {
+    match us {
+        Some(us) => fmt_ns(us.saturating_mul(1_000)),
+        None => "-".to_string(),
+    }
+}
+
+/// Renders the profile report: a header, then one line per call path,
+/// indented by depth, siblings sorted by self time (descending).
+/// `histograms` is the `metrics.jsonl` histogram map; p50/p95 come
+/// from `span.<name>.micros` via [`HistogramSnapshot::percentile`].
+pub fn render(root: &Node, histograms: &BTreeMap<String, HistogramSnapshot>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>12} {:>12} {:>8} {:>10} {:>10}  span",
+        "inclusive", "self", "calls", "p50", "p95"
+    );
+    fn walk(
+        out: &mut String,
+        node: &Node,
+        depth: usize,
+        histograms: &BTreeMap<String, HistogramSnapshot>,
+    ) {
+        let histogram = histograms.get(&format!("span.{}.micros", node.name));
+        let p50 = histogram.and_then(|h| h.percentile(0.50));
+        let p95 = histogram.and_then(|h| h.percentile(0.95));
+        let unclosed = if node.unclosed > 0 {
+            format!(" [{} unclosed]", node.unclosed)
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            out,
+            "{:>12} {:>12} {:>8} {:>10} {:>10}  {}{}{}",
+            fmt_ns(node.inclusive_ns),
+            fmt_ns(node.self_ns()),
+            node.count,
+            fmt_micros(p50),
+            fmt_micros(p95),
+            "  ".repeat(depth),
+            node.name,
+            unclosed,
+        );
+        for child in &node.children {
+            walk(out, child, depth + 1, histograms);
+        }
+    }
+    for child in &root.children {
+        walk(&mut out, child, 0, histograms);
+    }
+    if root.children.is_empty() {
+        let _ = writeln!(out, "(no span events)");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, name: &str, id: u64, parent: Option<u64>, ts: u64, el: u64) -> Event {
+        Event {
+            kind,
+            name: name.into(),
+            id,
+            parent_id: parent,
+            tid: 1,
+            depth: 0,
+            ts_ns: ts,
+            elapsed_ns: matches!(kind, EventKind::SpanEnd).then_some(el),
+            attrs: Vec::new(),
+        }
+    }
+
+    /// run(1000ns) containing two step spans (300ns + 200ns), one of
+    /// them called twice under the same path.
+    fn workload() -> Vec<Event> {
+        vec![
+            ev(EventKind::SpanStart, "run", 1, None, 0, 0),
+            ev(EventKind::SpanStart, "step", 2, Some(1), 100, 0),
+            ev(EventKind::SpanEnd, "step", 2, Some(1), 400, 300),
+            ev(EventKind::SpanStart, "step", 3, Some(1), 500, 0),
+            ev(EventKind::SpanEnd, "step", 3, Some(1), 700, 200),
+            ev(EventKind::SpanEnd, "run", 1, None, 1000, 1000),
+        ]
+    }
+
+    #[test]
+    fn tree_aggregates_by_call_path() {
+        let root = span_tree(&workload());
+        assert_eq!(root.children.len(), 1);
+        let run = &root.children[0];
+        assert_eq!(run.name, "run");
+        assert_eq!(run.count, 1);
+        assert_eq!(run.inclusive_ns, 1000);
+        assert_eq!(run.children.len(), 1);
+        let step = &run.children[0];
+        assert_eq!(step.count, 2, "same-path spans aggregate");
+        assert_eq!(step.inclusive_ns, 500);
+        assert_eq!(step.self_ns(), 500);
+        assert_eq!(run.self_ns(), 500, "inclusive minus children");
+    }
+
+    #[test]
+    fn siblings_sort_by_self_time() {
+        let events = vec![
+            ev(EventKind::SpanStart, "parent", 1, None, 0, 0),
+            ev(EventKind::SpanStart, "small", 2, Some(1), 0, 0),
+            ev(EventKind::SpanEnd, "small", 2, Some(1), 10, 10),
+            ev(EventKind::SpanStart, "big", 3, Some(1), 10, 0),
+            ev(EventKind::SpanEnd, "big", 3, Some(1), 910, 900),
+            ev(EventKind::SpanEnd, "parent", 1, None, 1000, 1000),
+        ];
+        let root = span_tree(&events);
+        let parent = &root.children[0];
+        let names: Vec<&str> = parent.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["big", "small"]);
+    }
+
+    #[test]
+    fn unclosed_spans_are_charged_and_flagged() {
+        let events = vec![
+            ev(EventKind::SpanStart, "hang", 7, None, 100, 0),
+            ev(EventKind::SpanStart, "after", 8, None, 600, 0),
+            ev(EventKind::SpanEnd, "after", 8, None, 700, 100),
+        ];
+        let root = span_tree(&events);
+        let hang = root.children.iter().find(|c| c.name == "hang").unwrap();
+        assert_eq!(hang.count, 0);
+        assert_eq!(hang.unclosed, 1);
+        assert_eq!(hang.inclusive_ns, 600, "charged up to the last event");
+        let report = render(&root, &BTreeMap::new());
+        assert!(report.contains("[1 unclosed]"), "{report}");
+    }
+
+    #[test]
+    fn render_includes_percentiles_from_histograms() {
+        let mut histograms = BTreeMap::new();
+        let handle = mlam_telemetry::histogram_handle("test.profile.render");
+        handle.observe(100);
+        handle.observe(100);
+        handle.observe(100_000);
+        histograms.insert("span.run.micros".to_string(), handle.snapshot());
+        let root = span_tree(&workload());
+        let report = render(&root, &histograms);
+        assert!(report.contains("run"), "{report}");
+        assert!(report.contains("step"), "{report}");
+        // p50 of {100,100,100000} sits in the [64,128) bucket → 127µs.
+        assert!(report.contains("127.0µs"), "{report}");
+    }
+}

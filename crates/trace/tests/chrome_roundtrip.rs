@@ -1,0 +1,126 @@
+//! End-to-end Chrome Trace Format round trip: run a real nested-span
+//! workload through a `JsonlSink`, export the resulting `events.jsonl`
+//! to Chrome Trace Format, deserialize it back with serde, and assert
+//! that B/E pairing, per-track timestamp monotonicity, and the
+//! parent/child structure all survive.
+
+use mlam_trace::chrome::{self, ChromeTrace};
+use mlam_trace::{profile, RunData};
+use std::collections::HashMap;
+
+#[test]
+fn nested_span_workload_round_trips_through_chrome_trace() {
+    let dir = std::env::temp_dir().join(format!("mlam_chrome_rt_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let events_path = dir.join("events.jsonl");
+    mlam_telemetry::add_sink(Box::new(
+        mlam_telemetry::JsonlSink::create(&events_path).unwrap(),
+    ));
+
+    // A three-deep workload with repeated siblings and attrs.
+    {
+        let _run = mlam_telemetry::span("rt.run").attr("quick", true);
+        for round in 0..3 {
+            let _outer = mlam_telemetry::span("rt.outer").attr("round", round);
+            {
+                let _inner = mlam_telemetry::span("rt.inner");
+            }
+            {
+                let _inner = mlam_telemetry::span("rt.inner");
+            }
+        }
+    }
+
+    // Export and round-trip through serde.
+    let run = RunData::load(&dir).unwrap();
+    assert_eq!(
+        run.events.len(),
+        2 * (1 + 3 + 6),
+        "start+end for run, 3 outers, 6 inners"
+    );
+    let trace = chrome::export(&run.events);
+    let json = chrome::to_json(&trace).unwrap();
+    std::fs::write(dir.join("trace.json"), &json).unwrap();
+    let back: ChromeTrace = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, trace, "serde round trip is lossless");
+
+    // Structural validation, Perfetto-style: per (pid, tid) track, in
+    // array order, B/E events must form a well-nested bracket sequence
+    // with monotone non-decreasing timestamps.
+    let mut stacks: HashMap<(u64, u64), Vec<&str>> = HashMap::new();
+    let mut last_ts: HashMap<(u64, u64), f64> = HashMap::new();
+    let mut max_depth = 0usize;
+    for event in &back.traceEvents {
+        let track = (event.pid, event.tid);
+        let prev = last_ts.insert(track, event.ts).unwrap_or(f64::MIN);
+        assert!(
+            event.ts >= prev,
+            "timestamps regress on track {track:?}: {prev} -> {}",
+            event.ts
+        );
+        let stack = stacks.entry(track).or_default();
+        match event.ph.as_str() {
+            "B" => {
+                stack.push(&event.name);
+                max_depth = max_depth.max(stack.len());
+            }
+            "E" => {
+                let open = stack.pop().unwrap_or_else(|| {
+                    panic!("E event for '{}' with no open B on {track:?}", event.name)
+                });
+                assert_eq!(open, event.name, "B/E pairing is name-consistent");
+            }
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+    for (track, stack) in &stacks {
+        assert!(
+            stack.is_empty(),
+            "unclosed B events on {track:?}: {stack:?}"
+        );
+    }
+    assert_eq!(max_depth, 3, "rt.run > rt.outer > rt.inner nesting");
+
+    // Parent/child links survive in args: every rt.inner B names an
+    // rt.outer span id as its parent, and attrs ride along.
+    let id_to_name: HashMap<&str, &str> = back
+        .traceEvents
+        .iter()
+        .filter(|e| e.ph == "B")
+        .map(|e| (e.args["span_id"].as_str(), e.name.as_str()))
+        .collect();
+    let mut inner_b = 0;
+    for event in back.traceEvents.iter().filter(|e| e.ph == "B") {
+        match event.name.as_str() {
+            "rt.inner" => {
+                inner_b += 1;
+                let parent = event.args["parent_span_id"].as_str();
+                assert_eq!(id_to_name[parent], "rt.outer");
+            }
+            "rt.outer" => {
+                let parent = event.args["parent_span_id"].as_str();
+                assert_eq!(id_to_name[parent], "rt.run");
+                assert!(event.args.contains_key("round"), "attrs exported to args");
+            }
+            "rt.run" => {
+                assert_eq!(event.args.get("quick").map(String::as_str), Some("true"));
+                assert!(!event.args.contains_key("parent_span_id"));
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(inner_b, 6);
+
+    // The same stream feeds the profile tree: 6 rt.inner calls under
+    // rt.outer under rt.run.
+    let root = profile::span_tree(&run.events);
+    let run_node = root.children.iter().find(|c| c.name == "rt.run").unwrap();
+    let outer = &run_node.children[0];
+    assert_eq!(outer.name, "rt.outer");
+    assert_eq!(outer.count, 3);
+    assert_eq!(outer.children[0].name, "rt.inner");
+    assert_eq!(outer.children[0].count, 6);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

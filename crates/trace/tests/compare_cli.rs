@@ -1,0 +1,139 @@
+//! Exit-code contract of the `mlam-trace` binary: clean same-seed runs
+//! exit 0, a slowed run exits 1 (0 under `--warn-only`), counter drift
+//! exits 2 even under `--warn-only`, and usage errors exit 64.
+
+use mlam_telemetry::{ExperimentRecord, RunManifest};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn write_run(dir: &Path, manifest: &RunManifest) {
+    std::fs::create_dir_all(dir).unwrap();
+    let json = serde_json::to_string_pretty(manifest).unwrap();
+    std::fs::write(dir.join("manifest.json"), json + "\n").unwrap();
+}
+
+fn quick_manifest(tweak_seconds: f64, tweak_queries: u64) -> RunManifest {
+    let mut manifest = RunManifest::new("repro_all", 0xDA7E_2020, true);
+    for (name, seconds, queries, conflicts) in
+        [("table1", 1.0, 2000u64, 0u64), ("locking", 2.0, 150, 420)]
+    {
+        let mut counters = BTreeMap::new();
+        counters.insert(
+            "oracle.example_queries".to_string(),
+            queries + tweak_queries,
+        );
+        counters.insert("sat.conflicts".to_string(), conflicts);
+        manifest.experiments.push(ExperimentRecord {
+            name: name.to_string(),
+            seconds: seconds * tweak_seconds,
+            counters,
+        });
+        manifest.total_seconds += seconds * tweak_seconds;
+    }
+    manifest
+}
+
+fn run_compare(baseline: &Path, current: &Path, extra: &[&str]) -> (i32, String, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_mlam-trace"))
+        .arg("compare")
+        .arg(baseline)
+        .arg(current)
+        .args(extra)
+        .output()
+        .expect("spawn mlam-trace");
+    (
+        output.status.code().expect("exit code"),
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+fn scratch() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mlam_compare_cli_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn compare_exit_codes_follow_the_contract() {
+    let base_dir = scratch();
+    let baseline = base_dir.join("baseline");
+    write_run(&baseline, &quick_manifest(1.0, 0));
+
+    // Same counters, wall within noise: clean.
+    let same = base_dir.join("same");
+    write_run(&same, &quick_manifest(1.05, 0));
+    let (code, stdout, _) = run_compare(&baseline, &same, &[]);
+    assert_eq!(code, 0, "same-seed runs with matching counters: {stdout}");
+    assert!(stdout.contains("bit-identical"), "{stdout}");
+
+    // A synthetic 3x slowdown: wall regression, exit 1.
+    let slow = base_dir.join("slow");
+    write_run(&slow, &quick_manifest(3.0, 0));
+    let (code, stdout, stderr) = run_compare(&baseline, &slow, &[]);
+    assert_eq!(code, 1, "slowed run must fail: {stdout}{stderr}");
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+
+    // --warn-only downgrades the wall regression to exit 0.
+    let (code, _, stderr) = run_compare(&baseline, &slow, &["--warn-only"]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stderr.contains("suppressed"), "{stderr}");
+
+    // A generous threshold also accepts the slowdown.
+    let (code, _, _) = run_compare(&baseline, &slow, &["--threshold", "5.0"]);
+    assert_eq!(code, 0);
+
+    // Counter drift: exit 2, even under --warn-only.
+    let drift = base_dir.join("drift");
+    write_run(&drift, &quick_manifest(1.0, 1));
+    let (code, stdout, _) = run_compare(&baseline, &drift, &[]);
+    assert_eq!(code, 2, "{stdout}");
+    assert!(stdout.contains("counter drift"), "{stdout}");
+    assert!(stdout.contains("oracle.example_queries"), "{stdout}");
+    let (code, _, _) = run_compare(&baseline, &drift, &["--warn-only"]);
+    assert_eq!(code, 2, "--warn-only never hides counter drift");
+
+    // Missing manifest: usage error.
+    let empty = base_dir.join("empty");
+    std::fs::create_dir_all(&empty).unwrap();
+    let (code, _, stderr) = run_compare(&baseline, &empty, &[]);
+    assert_eq!(code, 64, "{stderr}");
+    assert!(stderr.contains("manifest.json"), "{stderr}");
+
+    let _ = std::fs::remove_dir_all(&base_dir);
+}
+
+#[test]
+fn bench_subcommand_emits_the_trajectory_schema() {
+    let base_dir = std::env::temp_dir().join(format!("mlam_bench_cli_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base_dir);
+    let run_dir = base_dir.join("run");
+    write_run(&run_dir, &quick_manifest(1.0, 0));
+    let out_path = base_dir.join("BENCH.json");
+    let output = Command::new(env!("CARGO_BIN_EXE_mlam-trace"))
+        .args(["bench"])
+        .arg(&run_dir)
+        .arg("-o")
+        .arg(&out_path)
+        .output()
+        .expect("spawn mlam-trace");
+    assert_eq!(output.status.code(), Some(0));
+    let text = std::fs::read_to_string(&out_path).unwrap();
+    let entries: Vec<mlam_trace::bench_json::BenchEntry> = serde_json::from_str(&text).unwrap();
+    assert_eq!(entries.len(), 2);
+    assert_eq!(entries[0].name, "table1");
+    assert_eq!(entries[0].wall_ns, 1_000_000_000);
+    assert_eq!(entries[0].queries, 2000);
+    assert_eq!(entries[1].sat_conflicts, 420);
+    let _ = std::fs::remove_dir_all(&base_dir);
+}
+
+#[test]
+fn unknown_subcommand_is_a_usage_error() {
+    let output = Command::new(env!("CARGO_BIN_EXE_mlam-trace"))
+        .arg("frobnicate")
+        .output()
+        .expect("spawn mlam-trace");
+    assert_eq!(output.status.code(), Some(64));
+}

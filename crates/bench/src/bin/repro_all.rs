@@ -1,20 +1,35 @@
-//! Runs every experiment in sequence and prints all tables — the
-//! one-shot reproduction entry point referenced by EXPERIMENTS.md.
+//! Runs every experiment and prints all tables — the one-shot
+//! reproduction entry point referenced by EXPERIMENTS.md.
 //!
 //! Usage: `cargo run --release -p mlam-bench --bin repro_all
 //! [--quick] [--json <dir>] [--force]`
+//!
+//! Experiments are fanned out across `MLAM_THREADS` worker threads
+//! (default: available parallelism; `1` runs inline). Results are
+//! bit-identical at any thread count: each experiment derives its own
+//! RNG from the fixed root seed and its index, and tables are printed
+//! in the fixed experiment order.
 //!
 //! With `--json <dir>`, also writes `manifest.json`, `metrics.jsonl`,
 //! `events.jsonl` and one `<experiment>.json` per experiment; stdout
 //! is unchanged. The directory is created recursively; a directory
 //! that already holds a `manifest.json` is refused unless `--force`
 //! is given.
+//!
+//! Exits non-zero when any experiment driver fails; the remaining
+//! experiments still run and their results are still written.
 
 use mlam_bench::{parse_cli, run_all, Session};
 
 fn main() {
     let options = parse_cli(std::env::args());
     let mut session = Session::start("repro_all", &options);
-    run_all(&mut session);
+    let failures = run_all(&mut session);
     session.finish();
+    if !failures.is_empty() {
+        for failure in &failures {
+            eprintln!("experiment {} failed: {}", failure.name, failure.message);
+        }
+        std::process::exit(1);
+    }
 }

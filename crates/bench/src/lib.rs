@@ -10,8 +10,11 @@
 
 use mlam::report::Table;
 use mlam::telemetry::{self, ExperimentRecord, RunManifest};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::panic::AssertUnwindSafe;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -26,6 +29,7 @@ const WORKSPACE_CRATES: &[&str] = &[
     "mlam-learn",
     "mlam-locking",
     "mlam-netlist",
+    "mlam-par",
     "mlam-puf",
     "mlam-telemetry",
 ];
@@ -121,7 +125,11 @@ impl Session {
     /// Panics if the JSON output directory cannot be claimed; the
     /// message names the offending path.
     pub fn start(tool: &str, options: &CliOptions) -> Session {
+        // Wire telemetry's thread-local context (counter scopes, span
+        // parents) into the parallel runtime before any fan-out runs.
+        telemetry::install_parallel_propagation();
         let mut manifest = RunManifest::new(tool, REPRO_SEED, options.quick);
+        manifest.threads = mlam_par::threads();
         let version = env!("CARGO_PKG_VERSION");
         for name in WORKSPACE_CRATES {
             manifest
@@ -164,11 +172,19 @@ impl Session {
         driver: impl FnOnce() -> T,
         render: impl FnOnce(&T) -> Vec<Table>,
     ) -> T {
-        let before = telemetry::snapshot();
+        // Attribution through a scope (not a global snapshot diff) so
+        // increments land on this experiment even when other work —
+        // e.g. sibling experiments of a parallel batch — runs
+        // concurrently, and nested parallel regions inherit the scope
+        // via the mlam-par context hook.
+        let scope = telemetry::CounterScope::new();
         let started = Instant::now();
-        let value = driver();
+        let value = {
+            let _guard = scope.enter();
+            driver()
+        };
         let seconds = started.elapsed().as_secs_f64();
-        let counters = telemetry::snapshot().counter_deltas_since(&before);
+        let counters = scope.take();
         self.manifest.experiments.push(ExperimentRecord {
             name: name.to_string(),
             seconds,
@@ -186,6 +202,63 @@ impl Session {
             write_json(&dir.file(&format!("{name}.json")), &record);
         }
         value
+    }
+
+    /// Runs a batch of experiments, fanned out across `MLAM_THREADS`
+    /// workers (inline when `MLAM_THREADS=1`), then records, writes
+    /// and prints every result **in spec order** — stdout, the
+    /// manifest and the `--json` files are identical at any thread
+    /// count.
+    ///
+    /// Each experiment gets its own RNG seeded from
+    /// `split_seed(session seed, index)` and its own counter scope, so
+    /// neither randomness nor attribution couples experiments to their
+    /// schedule. A panicking driver does not abort the batch: the
+    /// experiment is still recorded (wall-clock and counters), no
+    /// result file is written for it, and the failure is returned so
+    /// the caller can exit non-zero.
+    pub fn run_batch(&mut self, specs: Vec<ExperimentSpec>) -> Vec<ExperimentFailure> {
+        telemetry::install_parallel_propagation();
+        let root = self.seed();
+        let tasks: Vec<Box<dyn FnOnce() -> BatchOutcome + Send>> = specs
+            .into_iter()
+            .enumerate()
+            .map(|(index, spec)| {
+                Box::new(move || run_spec(spec, root, index))
+                    as Box<dyn FnOnce() -> BatchOutcome + Send>
+            })
+            .collect();
+        let mut failures = Vec::new();
+        for outcome in mlam_par::par_run(tasks) {
+            self.manifest.experiments.push(ExperimentRecord {
+                name: outcome.name.to_string(),
+                seconds: outcome.seconds,
+                counters: outcome.counters.clone(),
+            });
+            match outcome.result {
+                Ok(tables) => {
+                    if let Some(dir) = &self.run_dir {
+                        let record = ExperimentJson {
+                            name: outcome.name.to_string(),
+                            seed: self.manifest.seed,
+                            quick: self.manifest.quick,
+                            seconds: outcome.seconds,
+                            counters: outcome.counters,
+                            tables: tables.iter().map(TableJson::from_table).collect(),
+                        };
+                        write_json(&dir.file(&format!("{}.json", outcome.name)), &record);
+                    }
+                    for table in &tables {
+                        println!("{table}");
+                    }
+                }
+                Err(message) => failures.push(ExperimentFailure {
+                    name: outcome.name.to_string(),
+                    message,
+                }),
+            }
+        }
+        failures
     }
 
     /// Finalizes the manifest (total wall-clock, final metrics) and,
@@ -207,6 +280,83 @@ impl Session {
     }
 }
 
+/// A boxed experiment driver: takes the experiment's own
+/// deterministically derived RNG, returns the tables to print and
+/// serialize.
+type DriverFn = Box<dyn FnOnce(&mut StdRng) -> Vec<Table> + Send>;
+
+/// One experiment of a [`Session::run_batch`] fan-out: a name plus a
+/// driver closure that receives the experiment's own deterministically
+/// derived RNG and returns the tables to print and serialize.
+pub struct ExperimentSpec {
+    name: &'static str,
+    run: DriverFn,
+}
+
+impl ExperimentSpec {
+    /// Wraps a driver closure under the experiment's manifest name.
+    pub fn new(
+        name: &'static str,
+        run: impl FnOnce(&mut StdRng) -> Vec<Table> + Send + 'static,
+    ) -> ExperimentSpec {
+        ExperimentSpec {
+            name,
+            run: Box::new(run),
+        }
+    }
+
+    /// The manifest/JSON name of this experiment.
+    pub fn name(&self) -> &str {
+        self.name
+    }
+}
+
+/// A failed experiment of a batch: its name and the panic message.
+#[derive(Clone, Debug)]
+pub struct ExperimentFailure {
+    pub name: String,
+    pub message: String,
+}
+
+struct BatchOutcome {
+    name: &'static str,
+    seconds: f64,
+    counters: BTreeMap<String, u64>,
+    result: Result<Vec<Table>, String>,
+}
+
+/// Executes one spec on whichever worker the pool picked: independent
+/// RNG from `(root, index)`, own counter scope, panics contained.
+fn run_spec(spec: ExperimentSpec, root: u64, index: usize) -> BatchOutcome {
+    let name = spec.name;
+    let scope = telemetry::CounterScope::new();
+    let started = Instant::now();
+    let result = {
+        let _guard = scope.enter();
+        let run = spec.run;
+        std::panic::catch_unwind(AssertUnwindSafe(move || {
+            let mut rng = StdRng::seed_from_u64(mlam_par::split_seed(root, index as u64));
+            run(&mut rng)
+        }))
+    };
+    BatchOutcome {
+        name,
+        seconds: started.elapsed().as_secs_f64(),
+        counters: scope.take(),
+        result: result.map_err(|payload| panic_message(payload.as_ref())),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "experiment driver panicked".to_string()
+    }
+}
+
 fn write_json<T: serde::Serialize>(path: &Path, value: &T) {
     let json = serde_json::to_string_pretty(value)
         .unwrap_or_else(|e| panic!("cannot serialize {}: {e}", path.display()));
@@ -214,10 +364,17 @@ fn write_json<T: serde::Serialize>(path: &Path, value: &T) {
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
 }
 
-/// Runs every experiment in sequence, printing each table to stdout
-/// exactly as `repro_all` always has, while the session records
-/// timing, counters and (under `--json`) structured results.
-pub fn run_all(session: &mut Session) {
+/// Runs every experiment — fanned out across `MLAM_THREADS` workers —
+/// printing each table to stdout in the fixed order `repro_all` always
+/// has, while the session records timing, counters and (under
+/// `--json`) structured results.
+///
+/// Every experiment seeds its own RNG from `split_seed(session seed,
+/// experiment index)`, so outputs are bit-identical at any thread
+/// count. Returns the experiments whose drivers panicked (empty on a
+/// clean run); callers that exit should propagate a non-zero status
+/// when the list is non-empty.
+pub fn run_all(session: &mut Session) -> Vec<ExperimentFailure> {
     use mlam::experiments::ablations::{run_ablations, AblationParams};
     use mlam::experiments::ac0::{run_ac0, Ac0Params};
     use mlam::experiments::corollary2::{run_corollary2, Corollary2Params};
@@ -231,167 +388,111 @@ pub fn run_all(session: &mut Session) {
     use mlam::experiments::{
         run_table1, run_table2, run_table3, Table1Params, Table2Params, Table3Params,
     };
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
-    let _span = telemetry::span("bench.run_all").attr("quick", session.quick());
+    let _span = telemetry::span("bench.run_all")
+        .attr("quick", session.quick())
+        .attr("threads", mlam_par::threads());
     let quick = session.quick();
-    let mut rng = StdRng::seed_from_u64(session.seed());
 
     let t1 = if quick {
         Table1Params::quick()
     } else {
         Table1Params::paper()
     };
-    let r1 = session.run(
-        "table1",
-        || run_table1(&t1, &mut rng),
-        |r| vec![r.to_table(), r.empirical_table()],
-    );
-    println!("{}", r1.to_table());
-    println!("{}", r1.empirical_table());
-
     let t2 = if quick {
         Table2Params::quick()
     } else {
         Table2Params::paper()
     };
-    let r2 = session.run(
-        "table2",
-        || run_table2(&t2, &mut rng),
-        |r| vec![r.to_table()],
-    );
-    println!("{}", r2.to_table());
-
     let t3 = if quick {
         Table3Params::quick()
     } else {
         Table3Params::paper()
     };
-    let r3 = session.run(
-        "table3",
-        || run_table3(&t3, &mut rng),
-        |r| vec![r.to_table()],
-    );
-    println!("{}", r3.to_table());
-
     let c2 = if quick {
         Corollary2Params::quick()
     } else {
         Corollary2Params::paper()
     };
-    let rc2 = session.run(
-        "corollary2",
-        || run_corollary2(&c2, &mut rng),
-        |r| vec![r.to_table()],
-    );
-    println!("{}", rc2.to_table());
-
     let lk = if quick {
         LockingParams::quick()
     } else {
         LockingParams::paper()
     };
-    let rlk = session.run(
-        "locking",
-        || run_locking(&lk, &mut rng),
-        |r| vec![r.to_table()],
-    );
-    println!("{}", rlk.to_table());
-
     let sq = if quick {
         SequentialParams::quick()
     } else {
         SequentialParams::paper()
     };
-    let rsq = session.run(
-        "sequential",
-        || run_sequential(&sq, &mut rng),
-        |r| vec![r.to_table()],
-    );
-    println!("{}", rsq.to_table());
-
     let ea = if quick {
         ExactVsApproxParams::quick()
     } else {
         ExactVsApproxParams::paper()
     };
-    let rea = session.run(
-        "exact_vs_approx",
-        || run_exact_vs_approx(&ea, &mut rng),
-        |r| vec![r.to_table()],
-    );
-    println!("{}", rea.to_table());
-
     let a0 = if quick {
         Ac0Params::quick()
     } else {
         Ac0Params::paper()
     };
-    let ra0 = session.run("ac0", || run_ac0(&a0, &mut rng), |r| vec![r.to_table()]);
-    println!("{}", ra0.to_table());
-
     let sp = if quick {
         SpectralParams::quick()
     } else {
         SpectralParams::paper()
     };
-    let rsp = session.run(
-        "spectral",
-        || run_spectral(&sp, &mut rng),
-        |r| vec![r.to_table()],
-    );
-    println!("{}", rsp.to_table());
-
     let ip = if quick {
         InterposeParams::quick()
     } else {
         InterposeParams::paper()
     };
-    let rip = session.run(
-        "interpose",
-        || run_interpose(&ip, &mut rng),
-        |r| vec![r.to_table()],
-    );
-    println!("{}", rip.to_table());
-
     let rr = if quick {
         RocknRollParams::quick()
     } else {
         RocknRollParams::paper()
     };
-    let rrr = session.run(
-        "rocknroll",
-        || run_rocknroll(&rr, &mut rng),
-        |r| vec![r.to_table()],
-    );
-    println!("{}", rrr.to_table());
-
     let ld = if quick {
         LockdownParams::quick()
     } else {
         LockdownParams::paper()
     };
-    let rld = session.run(
-        "lockdown",
-        || run_lockdown(&ld, &mut rng),
-        |r| vec![r.to_table()],
-    );
-    println!("{}", rld.to_table());
-
     let ab = if quick {
         AblationParams::quick()
     } else {
         AblationParams::paper()
     };
-    let rab = session.run(
-        "ablations",
-        || run_ablations(&ab, &mut rng),
-        |r| r.to_tables(),
-    );
-    for table in rab.to_tables() {
-        println!("{table}");
-    }
+
+    let specs = vec![
+        ExperimentSpec::new("table1", move |rng| {
+            let r = run_table1(&t1, rng);
+            vec![r.to_table(), r.empirical_table()]
+        }),
+        ExperimentSpec::new("table2", move |rng| vec![run_table2(&t2, rng).to_table()]),
+        ExperimentSpec::new("table3", move |rng| vec![run_table3(&t3, rng).to_table()]),
+        ExperimentSpec::new("corollary2", move |rng| {
+            vec![run_corollary2(&c2, rng).to_table()]
+        }),
+        ExperimentSpec::new("locking", move |rng| vec![run_locking(&lk, rng).to_table()]),
+        ExperimentSpec::new("sequential", move |rng| {
+            vec![run_sequential(&sq, rng).to_table()]
+        }),
+        ExperimentSpec::new("exact_vs_approx", move |rng| {
+            vec![run_exact_vs_approx(&ea, rng).to_table()]
+        }),
+        ExperimentSpec::new("ac0", move |rng| vec![run_ac0(&a0, rng).to_table()]),
+        ExperimentSpec::new("spectral", move |rng| {
+            vec![run_spectral(&sp, rng).to_table()]
+        }),
+        ExperimentSpec::new("interpose", move |rng| {
+            vec![run_interpose(&ip, rng).to_table()]
+        }),
+        ExperimentSpec::new("rocknroll", move |rng| {
+            vec![run_rocknroll(&rr, rng).to_table()]
+        }),
+        ExperimentSpec::new("lockdown", move |rng| {
+            vec![run_lockdown(&ld, rng).to_table()]
+        }),
+        ExperimentSpec::new("ablations", move |rng| run_ablations(&ab, rng).to_tables()),
+    ];
+    session.run_batch(specs)
 }
 
 #[cfg(test)]

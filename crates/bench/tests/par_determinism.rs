@@ -1,0 +1,103 @@
+//! The hard determinism contract, end to end: `repro_all --quick`
+//! must produce identical results at `MLAM_THREADS=1` and
+//! `MLAM_THREADS=4` — byte-identical per-experiment JSON (modulo the
+//! wall-clock `seconds` field), identical per-experiment counter
+//! deltas, and zero drift under `mlam-trace compare`.
+
+use mlam::telemetry::RunManifest;
+use mlam_bench::ExperimentJson;
+use std::path::Path;
+use std::process::Command;
+
+/// Runs the real `repro_all` binary with a pinned thread count.
+fn run_repro(dir: &Path, threads: &str) {
+    let status = Command::new(env!("CARGO_BIN_EXE_repro_all"))
+        .args(["--quick", "--json"])
+        .arg(dir)
+        .env("MLAM_THREADS", threads)
+        .stdout(std::process::Stdio::null())
+        .status()
+        .expect("spawn repro_all");
+    assert!(
+        status.success(),
+        "repro_all failed at MLAM_THREADS={threads}"
+    );
+}
+
+/// Drops every line mentioning the wall-clock field; everything else
+/// must match byte for byte.
+fn strip_seconds(text: &str) -> String {
+    text.lines()
+        .filter(|line| !line.contains("\"seconds\""))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn quick_run_is_identical_at_one_and_four_threads() {
+    let base = std::env::temp_dir().join(format!("mlam_par_det_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let dir_1 = base.join("t1");
+    let dir_4 = base.join("t4");
+    run_repro(&dir_1, "1");
+    run_repro(&dir_4, "4");
+
+    let manifest_1: RunManifest = serde_json::from_str(
+        &std::fs::read_to_string(dir_1.join("manifest.json")).expect("t1 manifest"),
+    )
+    .expect("parse t1 manifest");
+    let manifest_4: RunManifest = serde_json::from_str(
+        &std::fs::read_to_string(dir_4.join("manifest.json")).expect("t4 manifest"),
+    )
+    .expect("parse t4 manifest");
+
+    assert_eq!(manifest_1.threads, 1);
+    assert_eq!(manifest_4.threads, 4);
+    assert_eq!(manifest_1.seed, manifest_4.seed);
+    assert_eq!(manifest_1.experiments.len(), manifest_4.experiments.len());
+    for (a, b) in manifest_1.experiments.iter().zip(&manifest_4.experiments) {
+        assert_eq!(
+            a.name, b.name,
+            "experiment order must not depend on threads"
+        );
+        assert_eq!(
+            a.counters, b.counters,
+            "experiment {} drifts across thread counts",
+            a.name
+        );
+    }
+
+    // Per-experiment result files: byte-identical modulo `seconds`.
+    for record in &manifest_1.experiments {
+        let name = &record.name;
+        let text_1 =
+            std::fs::read_to_string(dir_1.join(format!("{name}.json"))).expect("t1 result");
+        let text_4 =
+            std::fs::read_to_string(dir_4.join(format!("{name}.json"))).expect("t4 result");
+        assert_eq!(
+            strip_seconds(&text_1),
+            strip_seconds(&text_4),
+            "{name}.json differs between MLAM_THREADS=1 and 4"
+        );
+        // And the structured view agrees once wall-clock is zeroed.
+        let mut parsed_1: ExperimentJson = serde_json::from_str(&text_1).expect("parse t1");
+        let mut parsed_4: ExperimentJson = serde_json::from_str(&text_4).expect("parse t4");
+        parsed_1.seconds = 0.0;
+        parsed_4.seconds = 0.0;
+        assert_eq!(parsed_1, parsed_4, "{name} structured results differ");
+    }
+
+    // The regression gate agrees: zero counter drift between the runs.
+    let options = mlam_trace::compare::CompareOptions {
+        threshold: 2.0,
+        min_wall_s: 1.0,
+    };
+    let report = mlam_trace::compare::compare(&manifest_1, &manifest_4, &options);
+    assert!(
+        !report.has_counter_drift(),
+        "thread counts must not drift counters:\n{}",
+        report.render()
+    );
+
+    let _ = std::fs::remove_dir_all(&base);
+}

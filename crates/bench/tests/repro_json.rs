@@ -31,7 +31,8 @@ fn run_once(dir: &Path) -> RunManifest {
         force: false,
     };
     let mut session = Session::start("repro_all", &options);
-    run_all(&mut session);
+    let failures = run_all(&mut session);
+    assert!(failures.is_empty(), "experiment failures: {failures:?}");
     session.finish()
 }
 

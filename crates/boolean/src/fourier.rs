@@ -224,24 +224,33 @@ impl BooleanFunction for SparseFourier {
 /// `ε`-accurate estimate with probability `1-δ`; callers pick `samples`
 /// from the bound they need.
 ///
+/// The inputs are drawn sequentially from `rng` (the stream is the same
+/// at any thread count), then the query/accumulate sweep fans out over
+/// `MLAM_THREADS` workers in fixed chunks of [`mlam_par::DEFAULT_CHUNK`]
+/// whose partial sums are folded in chunk order — the estimate is
+/// bit-identical at any thread count.
+///
 /// # Panics
 ///
 /// Panics if `samples == 0` or `f.num_inputs() > 63`.
 pub fn estimate_coefficient<F, R>(f: &F, mask: u64, samples: usize, rng: &mut R) -> f64
 where
-    F: BooleanFunction + ?Sized,
+    F: BooleanFunction + Sync + ?Sized,
     R: Rng + ?Sized,
 {
     assert!(samples > 0);
     let n = f.num_inputs();
     assert!(n <= 63);
-    let mut sum = 0.0;
-    for _ in 0..samples {
-        let x = BitVec::random(n, rng);
-        let chi = if x.parity_masked(mask) { -1.0 } else { 1.0 };
-        sum += f.eval_pm(&x) * chi;
-    }
-    sum / samples as f64
+    let xs: Vec<BitVec> = (0..samples).map(|_| BitVec::random(n, rng)).collect();
+    let partials = mlam_par::par_chunk_map(&xs, mlam_par::DEFAULT_CHUNK, |_, chunk| {
+        let mut sum = 0.0;
+        for x in chunk {
+            let chi = if x.parity_masked(mask) { -1.0 } else { 1.0 };
+            sum += f.eval_pm(x) * chi;
+        }
+        sum
+    });
+    partials.into_iter().fold(0.0, |a, b| a + b) / samples as f64
 }
 
 /// Estimates many Fourier coefficients from one common sample set.
@@ -249,26 +258,38 @@ where
 /// Draws `samples` uniform inputs once and reuses them for every mask —
 /// this is precisely how the LMN algorithm spends its example budget.
 /// Returns coefficients in the same order as `masks`.
+///
+/// Parallelism follows the same contract as [`estimate_coefficient`]:
+/// sequential sample draw, fixed-chunk fan-out, in-order fold.
 pub fn estimate_coefficients<F, R>(f: &F, masks: &[u64], samples: usize, rng: &mut R) -> Vec<f64>
 where
-    F: BooleanFunction + ?Sized,
+    F: BooleanFunction + Sync + ?Sized,
     R: Rng + ?Sized,
 {
     assert!(samples > 0);
     let n = f.num_inputs();
     assert!(n <= 63);
+    let xs: Vec<BitVec> = (0..samples).map(|_| BitVec::random(n, rng)).collect();
+    let partials = mlam_par::par_chunk_map(&xs, mlam_par::DEFAULT_CHUNK, |_, chunk| {
+        let mut sums = vec![0.0; masks.len()];
+        for x in chunk {
+            let fx = f.eval_pm(x);
+            let xm = x.to_u64();
+            for (k, &mask) in masks.iter().enumerate() {
+                let chi = if (xm & mask).count_ones() % 2 == 1 {
+                    -1.0
+                } else {
+                    1.0
+                };
+                sums[k] += fx * chi;
+            }
+        }
+        sums
+    });
     let mut sums = vec![0.0; masks.len()];
-    for _ in 0..samples {
-        let x = BitVec::random(n, rng);
-        let fx = f.eval_pm(&x);
-        let xm = x.to_u64();
-        for (k, &mask) in masks.iter().enumerate() {
-            let chi = if (xm & mask).count_ones() % 2 == 1 {
-                -1.0
-            } else {
-                1.0
-            };
-            sums[k] += fx * chi;
+    for part in partials {
+        for (s, p) in sums.iter_mut().zip(part) {
+            *s += p;
         }
     }
     for s in &mut sums {
@@ -280,6 +301,11 @@ where
 /// Estimates coefficients from an explicit labeled sample
 /// (challenge, response) instead of querying the function. Labels are in
 /// the Boolean encoding (`true` = logic 1 = −1).
+///
+/// The sweep over the sample runs in fixed chunks of
+/// [`mlam_par::DEFAULT_CHUNK`] across `MLAM_THREADS` workers; per-chunk
+/// partial sums are folded in chunk order, so the estimates are
+/// bit-identical at any thread count.
 pub fn estimate_coefficients_from_data(
     n: usize,
     data: &[(BitVec, bool)],
@@ -287,17 +313,26 @@ pub fn estimate_coefficients_from_data(
 ) -> Vec<f64> {
     assert!(n <= 63);
     assert!(!data.is_empty(), "empty sample");
+    let partials = mlam_par::par_chunk_map(data, mlam_par::DEFAULT_CHUNK, |_, chunk| {
+        let mut sums = vec![0.0; masks.len()];
+        for (x, y) in chunk {
+            let fx = crate::to_pm(*y);
+            let xm = x.to_u64();
+            for (k, &mask) in masks.iter().enumerate() {
+                let chi = if (xm & mask).count_ones() % 2 == 1 {
+                    -1.0
+                } else {
+                    1.0
+                };
+                sums[k] += fx * chi;
+            }
+        }
+        sums
+    });
     let mut sums = vec![0.0; masks.len()];
-    for (x, y) in data {
-        let fx = crate::to_pm(*y);
-        let xm = x.to_u64();
-        for (k, &mask) in masks.iter().enumerate() {
-            let chi = if (xm & mask).count_ones() % 2 == 1 {
-                -1.0
-            } else {
-                1.0
-            };
-            sums[k] += fx * chi;
+    for part in partials {
+        for (s, p) in sums.iter_mut().zip(part) {
+            *s += p;
         }
     }
     for s in &mut sums {

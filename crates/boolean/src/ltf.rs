@@ -130,32 +130,36 @@ pub struct ChowParameters {
 impl ChowParameters {
     /// Exact Chow parameters of any function by exhaustive enumeration.
     ///
+    /// The `2^n` evaluations are swept in fixed blocks of
+    /// [`mlam_par::DEFAULT_CHUNK`] across `MLAM_THREADS` workers; block
+    /// partials are folded in block order, so the result is
+    /// bit-identical at any thread count.
+    ///
     /// # Panics
     ///
     /// Panics if `f.num_inputs() > 20`.
-    pub fn exact<F: BooleanFunction + ?Sized>(f: &F) -> Self {
+    pub fn exact<F: BooleanFunction + Sync + ?Sized>(f: &F) -> Self {
         let n = f.num_inputs();
         assert!(n <= 20, "exact Chow parameters limited to n <= 20");
         let total = 1u64 << n;
-        let mut constant = 0.0;
-        let mut degree_one = vec![0.0; n];
-        for v in 0..total {
-            let x = BitVec::from_u64(v, n);
-            let fx = f.eval_pm(&x);
-            constant += fx;
-            for (i, d) in degree_one.iter_mut().enumerate() {
-                *d += fx * x.pm(i);
+        let block = mlam_par::DEFAULT_CHUNK as u64;
+        let blocks = total.div_ceil(block) as usize;
+        let partials = mlam_par::par_map_index(blocks, |b| {
+            let lo = b as u64 * block;
+            let hi = (lo + block).min(total);
+            let mut constant = 0.0;
+            let mut degree_one = vec![0.0; n];
+            for v in lo..hi {
+                let x = BitVec::from_u64(v, n);
+                let fx = f.eval_pm(&x);
+                constant += fx;
+                for (i, d) in degree_one.iter_mut().enumerate() {
+                    *d += fx * x.pm(i);
+                }
             }
-        }
-        let scale = 1.0 / total as f64;
-        constant *= scale;
-        for d in &mut degree_one {
-            *d *= scale;
-        }
-        ChowParameters {
-            constant,
-            degree_one,
-        }
+            (constant, degree_one)
+        });
+        Self::fold_partials(n, partials, 1.0 / total as f64)
     }
 
     /// Estimates Chow parameters by querying `f` on `samples` uniform
@@ -181,21 +185,41 @@ impl ChowParameters {
     /// exactly the paper's procedure of "approximating the Chow
     /// parameters using a small set of noiseless CRPs".
     ///
+    /// The sweep runs in fixed chunks of [`mlam_par::DEFAULT_CHUNK`]
+    /// across `MLAM_THREADS` workers, partials folded in chunk order —
+    /// bit-identical at any thread count.
+    ///
     /// # Panics
     ///
     /// Panics if `data` is empty.
     pub fn from_data(n: usize, data: &[(BitVec, bool)]) -> Self {
         assert!(!data.is_empty(), "empty sample");
+        let partials = mlam_par::par_chunk_map(data, mlam_par::DEFAULT_CHUNK, |_, chunk| {
+            let mut constant = 0.0;
+            let mut degree_one = vec![0.0; n];
+            for (x, y) in chunk {
+                let fx = crate::to_pm(*y);
+                constant += fx;
+                for (i, d) in degree_one.iter_mut().enumerate() {
+                    *d += fx * x.pm(i);
+                }
+            }
+            (constant, degree_one)
+        });
+        Self::fold_partials(n, partials, 1.0 / data.len() as f64)
+    }
+
+    /// Folds per-chunk `(constant, degree_one)` partials in chunk order
+    /// and applies the normalization `scale`.
+    fn fold_partials(n: usize, partials: Vec<(f64, Vec<f64>)>, scale: f64) -> Self {
         let mut constant = 0.0;
         let mut degree_one = vec![0.0; n];
-        for (x, y) in data {
-            let fx = crate::to_pm(*y);
-            constant += fx;
-            for (i, d) in degree_one.iter_mut().enumerate() {
-                *d += fx * x.pm(i);
+        for (c, d) in partials {
+            constant += c;
+            for (acc, p) in degree_one.iter_mut().zip(d) {
+                *acc += p;
             }
         }
-        let scale = 1.0 / data.len() as f64;
         constant *= scale;
         for d in &mut degree_one {
             *d *= scale;

@@ -4,6 +4,59 @@
 //! of (unnormalized) Fourier coefficients indexed by subset masks
 //! `S ⊆ [n]`, in `O(n·2^n)` time. It is the workhorse behind exact Fourier
 //! expansions and exact Chow parameters for small `n`.
+//!
+//! For tables of at least [`PAR_THRESHOLD`] entries each butterfly stage
+//! fans its independent blocks out across `MLAM_THREADS` workers. Every
+//! output element is computed by the same expression on the same inputs
+//! regardless of which worker runs it, so the transform is bit-identical
+//! at any thread count.
+
+use std::ops::{Add, Sub};
+
+/// Table length from which the butterfly stages run in parallel.
+///
+/// Below this, the sequential sweep is faster than spawning workers;
+/// results are identical either way.
+pub const PAR_THRESHOLD: usize = 1 << 14;
+
+/// One butterfly block: `chunk` has length `2h`; pairs `(lo[i], hi[i])`
+/// become `(lo+hi, lo-hi)`.
+fn butterfly<T>(chunk: &mut [T], h: usize)
+where
+    T: Copy + Add<Output = T> + Sub<Output = T>,
+{
+    let (lo, hi) = chunk.split_at_mut(h);
+    for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+        let (x, y) = (*a, *b);
+        *a = x + y;
+        *b = x - y;
+    }
+}
+
+/// The shared stage loop, generic over the scalar, with an explicit
+/// worker count so tests can sweep thread counts.
+fn wht_in_place<T>(t: usize, data: &mut [T])
+where
+    T: Copy + Send + Add<Output = T> + Sub<Output = T>,
+{
+    let n = data.len();
+    assert!(n.is_power_of_two(), "WHT length must be a power of two");
+    let mut h = 1;
+    while h < n {
+        // Blocks of one stage are disjoint; the final stages have too
+        // few blocks to share, so they stay on the calling thread.
+        if n >= PAR_THRESHOLD && 2 * h < n {
+            mlam_par::pool::par_for_each_mut_with_threads(t, data, 2 * h, |_, chunk| {
+                butterfly(chunk, h)
+            });
+        } else {
+            for chunk in data.chunks_exact_mut(2 * h) {
+                butterfly(chunk, h);
+            }
+        }
+        h *= 2;
+    }
+}
 
 /// In-place fast Walsh–Hadamard transform of a `f64` buffer.
 ///
@@ -14,6 +67,9 @@
 /// With input `t[x] = f(x)` (±1 values, `x` read as a bit mask), the
 /// output at index `S` equals `Σ_x f(x)·(-1)^{|x∧S|} = 2^n · f̂(S)` for
 /// the ±1 character convention of the paper.
+///
+/// Large tables are transformed stage-by-stage across `MLAM_THREADS`
+/// workers; the result is bit-identical at any thread count.
 ///
 /// # Panics
 ///
@@ -27,20 +83,7 @@
 /// assert_eq!(t, vec![2.0, 2.0, 2.0, -2.0]);
 /// ```
 pub fn walsh_hadamard(data: &mut [f64]) {
-    let n = data.len();
-    assert!(n.is_power_of_two(), "WHT length must be a power of two");
-    let mut h = 1;
-    while h < n {
-        for chunk in data.chunks_exact_mut(2 * h) {
-            let (lo, hi) = chunk.split_at_mut(h);
-            for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
-                let (x, y) = (*a, *b);
-                *a = x + y;
-                *b = x - y;
-            }
-        }
-        h *= 2;
-    }
+    wht_in_place(mlam_par::threads(), data);
 }
 
 /// In-place fast Walsh–Hadamard transform of an `i64` buffer.
@@ -52,20 +95,7 @@ pub fn walsh_hadamard(data: &mut [f64]) {
 ///
 /// Panics if `data.len()` is not a power of two.
 pub fn walsh_hadamard_i64(data: &mut [i64]) {
-    let n = data.len();
-    assert!(n.is_power_of_two(), "WHT length must be a power of two");
-    let mut h = 1;
-    while h < n {
-        for chunk in data.chunks_exact_mut(2 * h) {
-            let (lo, hi) = chunk.split_at_mut(h);
-            for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
-                let (x, y) = (*a, *b);
-                *a = x + y;
-                *b = x - y;
-            }
-        }
-        h *= 2;
-    }
+    wht_in_place(mlam_par::threads(), data);
 }
 
 #[cfg(test)]
@@ -131,5 +161,25 @@ mod tests {
         walsh_hadamard(&mut t);
         let sum_sq: f64 = t.iter().map(|v| (v / 128.0).powi(2)).sum();
         assert!((sum_sq - 1.0).abs() < 1e-9, "Parseval violated: {sum_sq}");
+    }
+
+    #[test]
+    fn parallel_stages_are_bit_identical_at_any_thread_count() {
+        // Above PAR_THRESHOLD the stage sweep goes through the worker
+        // pool; the transform must match the 1-thread result exactly,
+        // bit for bit, at every worker count.
+        let mut rng = StdRng::seed_from_u64(77);
+        let orig: Vec<f64> = (0..1usize << 15)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        let mut reference = orig.clone();
+        wht_in_place(1, &mut reference);
+        for t in [2, 3, 4, 8] {
+            let mut buf = orig.clone();
+            wht_in_place(t, &mut buf);
+            for (i, (a, b)) in buf.iter().zip(&reference).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "t={t}, index {i}");
+            }
+        }
     }
 }

@@ -131,8 +131,8 @@ pub fn run_ablations<R: Rng + ?Sized>(params: &AblationParams, rng: &mut R) -> A
             noise_sigma: 0.0,
         };
         let puf = BistableRingPuf::sample(params.br_n, cfg, rng);
-        let train = LabeledSet::sample(&puf, params.train_size, rng);
-        let test = LabeledSet::sample(&puf, params.test_size, rng);
+        let train = LabeledSet::sample_par(&puf, params.train_size, rng);
+        let test = LabeledSet::sample_par(&puf, params.test_size, rng);
         let cell = table_ii_procedure(&train, &test, ChowConfig::default(), 40);
         nonlinearity.push((lambda, cell.test_accuracy));
     }
@@ -141,7 +141,7 @@ pub fn run_ablations<R: Rng + ?Sized>(params: &AblationParams, rng: &mut R) -> A
     // uniformly, same Arbiter PUF and learner.
     let mut distribution_shift = Vec::new();
     let apuf = ArbiterPuf::sample(32, 0.0, rng);
-    let uniform_test = LabeledSet::sample(&apuf, params.test_size, rng);
+    let uniform_test = LabeledSet::sample_par(&apuf, params.test_size, rng);
     for &p in &params.biases {
         let dist = if (p - 0.5).abs() < 1e-9 {
             ChallengeDistribution::Uniform
@@ -156,26 +156,26 @@ pub fn run_ablations<R: Rng + ?Sized>(params: &AblationParams, rng: &mut R) -> A
         }
         let out = Perceptron::new(60)
             .train_with(mlam_learn::features::ArbiterPhiFeatures::new(32), &train);
-        distribution_shift.push((p, uniform_test.accuracy_of(&out.model)));
+        distribution_shift.push((p, uniform_test.accuracy_of_par(&out.model)));
     }
 
     // 3. Proper vs. improper on the calibrated BR PUF.
     let mut representation = Vec::new();
     let br = BistableRingPuf::sample(params.br_n, BrPufConfig::calibrated(params.br_n), rng);
-    let train = LabeledSet::sample(&br, params.train_size, rng);
-    let test = LabeledSet::sample(&br, params.test_size, rng);
+    let train = LabeledSet::sample_par(&br, params.train_size, rng);
+    let test = LabeledSet::sample_par(&br, params.test_size, rng);
     let proper = table_ii_procedure(&train, &test, ChowConfig::default(), 40);
     representation.push(("proper: Chow LTF + Perceptron".into(), proper.test_accuracy));
     let improper = lmn_learn(&train, LmnConfig::new(2));
     representation.push((
         "improper: LMN degree-2 spectrum".into(),
-        test.accuracy_of(&improper.hypothesis),
+        test.accuracy_of_par(&improper.hypothesis),
     ));
 
     // 4. Noise tolerance.
     let mut noise = Vec::new();
     let base = ArbiterPuf::sample(24, 0.0, rng);
-    let clean_test = LabeledSet::sample(&base, params.test_size, rng);
+    let clean_test = LabeledSet::sample_par(&base, params.test_size, rng);
     for &rate in &params.noise_rates {
         let noisy = ResponseNoise::new(base.clone(), rate);
         let set = collect_noisy(&noisy, params.train_size, rng);
@@ -186,9 +186,9 @@ pub fn run_ablations<R: Rng + ?Sized>(params: &AblationParams, rng: &mut R) -> A
         let lmn = lmn_learn(&train, LmnConfig::new(1));
         noise.push((
             rate,
-            clean_test.accuracy_of(&perc.model),
-            clean_test.accuracy_of(&logi.model),
-            clean_test.accuracy_of(&lmn.hypothesis),
+            clean_test.accuracy_of_par(&perc.model),
+            clean_test.accuracy_of_par(&logi.model),
+            clean_test.accuracy_of_par(&lmn.hypothesis),
         ));
     }
 

@@ -130,10 +130,10 @@ pub fn run_ac0<R: Rng + ?Sized>(params: &Ac0Params, rng: &mut R) -> Ac0Result {
         for _ in 0..params.trials {
             let circuit = ac0_circuit(params.inputs, depth, params.width, rng);
             let f = NetlistOutput { netlist: &circuit };
-            let train = LabeledSet::sample(&f, params.train_size, rng);
-            let test = LabeledSet::sample(&f, params.test_size, rng);
+            let train = LabeledSet::sample_par(&f, params.train_size, rng);
+            let test = LabeledSet::sample_par(&f, params.test_size, rng);
             let out = lmn_learn(&train, LmnConfig::new(params.degree));
-            acc += test.accuracy_of(&out.hypothesis);
+            acc += test.accuracy_of_par(&out.hypothesis);
             weight += out.captured_weight.min(1.0);
         }
         rows.push(Ac0Row {
@@ -146,12 +146,12 @@ pub fn run_ac0<R: Rng + ?Sized>(params: &Ac0Params, rng: &mut R) -> Ac0Result {
     // Control: parity is outside AC0; LMN at any fixed degree fails.
     let parity = parity_tree(params.inputs);
     let f = NetlistOutput { netlist: &parity };
-    let train = LabeledSet::sample(&f, params.train_size, rng);
-    let test = LabeledSet::sample(&f, params.test_size, rng);
+    let train = LabeledSet::sample_par(&f, params.train_size, rng);
+    let test = LabeledSet::sample_par(&f, params.test_size, rng);
     let out = lmn_learn(&train, LmnConfig::new(params.degree));
     rows.push(Ac0Row {
         target: format!("parity ({} bits, not AC0)", params.inputs),
-        lmn_accuracy: test.accuracy_of(&out.hypothesis),
+        lmn_accuracy: test.accuracy_of_par(&out.hypothesis),
         captured_weight: out.captured_weight.min(1.0),
     });
 

@@ -160,13 +160,13 @@ pub fn run_interpose<R: Rng + ?Sized>(params: &InterposeParams, rng: &mut R) -> 
     let n = params.n;
     let puf = InterposePuf::sample(n, 1, 1, 0.0, rng);
     let position = puf.position();
-    let train = LabeledSet::sample(&puf, params.train_size, rng);
-    let test = LabeledSet::sample(&puf, params.test_size, rng);
+    let train = LabeledSet::sample_par(&puf, params.train_size, rng);
+    let test = LabeledSet::sample_par(&puf, params.test_size, rng);
 
     // 1. Naive: LR over the n-bit Φ features.
     let lr = LogisticRegression::new(LogisticConfig::default());
     let naive = lr.train_phi(&train, rng);
-    let naive_accuracy = test.accuracy_of(&naive.model);
+    let naive_accuracy = test.accuracy_of_par(&naive.model);
 
     // 2. Composed: CMA-ES over the joint parameters.
     let prepare = |set: &LabeledSet| -> Vec<PreparedCrp> {

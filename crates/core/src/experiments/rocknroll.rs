@@ -126,15 +126,15 @@ pub fn run_rocknroll<R: Rng + ?Sized>(params: &RocknRollParams, rng: &mut R) -> 
         .map(|&deviation| {
             let puf = CorrelatedXorArbiterPuf::sample(params.n, params.k, deviation, 0.0, rng);
             let chain_correlation = puf.chain_correlation(2000, rng);
-            let train = LabeledSet::sample(&puf, params.train_size, rng);
-            let test = LabeledSet::sample(&puf, params.test_size, rng);
+            let train = LabeledSet::sample_par(&puf, params.train_size, rng);
+            let test = LabeledSet::sample_par(&puf, params.test_size, rng);
             let perc = Perceptron::new(60).train_with(ArbiterPhiFeatures::new(params.n), &train);
             let lmn = lmn_learn(&train, LmnConfig::new(params.lmn_degree));
             RocknRollRow {
                 deviation,
                 chain_correlation,
-                perceptron_accuracy: test.accuracy_of(&perc.model),
-                lmn_accuracy: test.accuracy_of(&lmn.hypothesis),
+                perceptron_accuracy: test.accuracy_of_par(&perc.model),
+                lmn_accuracy: test.accuracy_of_par(&lmn.hypothesis),
             }
         })
         .collect();

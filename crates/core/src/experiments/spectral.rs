@@ -118,10 +118,10 @@ pub fn run_spectral<R: Rng + ?Sized>(params: &SpectralParams, rng: &mut R) -> Sp
         noise_sigma: 0.0,
     };
     let puf = BistableRingPuf::sample(params.n, cfg, rng);
-    let test = LabeledSet::sample(&puf, params.test_size, rng);
+    let test = LabeledSet::sample_par(&puf, params.test_size, rng);
 
     // LMN: one uniform sample, all coefficients of degree <= d.
-    let train = LabeledSet::sample(&puf, params.lmn_examples, rng);
+    let train = LabeledSet::sample_par(&puf, params.lmn_examples, rng);
     let lmn = lmn_learn(&train, LmnConfig::new(params.lmn_degree));
 
     // KM: adaptive membership queries for heavy coefficients.
@@ -129,10 +129,10 @@ pub fn run_spectral<R: Rng + ?Sized>(params: &SpectralParams, rng: &mut R) -> Sp
     let km = km_learn(&oracle, KmConfig::new(params.km_theta), rng);
 
     SpectralResult {
-        lmn_accuracy: test.accuracy_of(&lmn.hypothesis),
+        lmn_accuracy: test.accuracy_of_par(&lmn.hypothesis),
         lmn_queries: params.lmn_examples as u64,
         lmn_coefficients: lmn.coefficients_estimated,
-        km_accuracy: test.accuracy_of(&km.hypothesis),
+        km_accuracy: test.accuracy_of_par(&km.hypothesis),
         km_queries: oracle.queries_used(),
         km_coefficients: km.hypothesis.len(),
     }

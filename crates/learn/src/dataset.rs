@@ -63,6 +63,27 @@ impl LabeledSet {
         LabeledSet { n, items }
     }
 
+    /// Samples `count` uniform random examples labeled by `f`, with the
+    /// labeling fanned out across `MLAM_THREADS` worker threads.
+    ///
+    /// The challenges are drawn sequentially from `rng` — the stream is
+    /// identical to [`LabeledSet::sample`] — and labeling a challenge is
+    /// a pure function of `f`, so the returned set is bit-identical to
+    /// the sequential one at any thread count.
+    pub fn sample_par<F, R>(f: &F, count: usize, rng: &mut R) -> Self
+    where
+        F: BooleanFunction + Sync + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let n = f.num_inputs();
+        let xs: Vec<BitVec> = (0..count).map(|_| BitVec::random(n, rng)).collect();
+        let labels = mlam_par::par_map(&xs, |x| f.eval(x));
+        LabeledSet {
+            n,
+            items: xs.into_iter().zip(labels).collect(),
+        }
+    }
+
     /// Draws `count` examples from an [`ExampleOracle`].
     pub fn from_oracle<O, R>(oracle: &O, count: usize, rng: &mut R) -> Self
     where
@@ -114,6 +135,25 @@ impl LabeledSet {
         assert!(!self.is_empty(), "accuracy over an empty set");
         let correct = self.items.iter().filter(|(x, y)| h.eval(x) == *y).count();
         correct as f64 / self.items.len() as f64
+    }
+
+    /// Fraction of examples a hypothesis labels correctly, with the
+    /// evaluation sweep fanned out across `MLAM_THREADS` workers.
+    ///
+    /// Correct-count accumulation is integer arithmetic, so the result
+    /// equals [`LabeledSet::accuracy_of`] exactly at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set is empty.
+    pub fn accuracy_of_par<H: BooleanFunction + Sync + ?Sized>(&self, h: &H) -> f64 {
+        assert!(!self.is_empty(), "accuracy over an empty set");
+        let partials = mlam_par::par_chunk_map(
+            &self.items,
+            mlam_par::DEFAULT_CHUNK,
+            |_, chunk: &[(BitVec, bool)]| chunk.iter().filter(|(x, y)| h.eval(x) == *y).count(),
+        );
+        partials.into_iter().sum::<usize>() as f64 / self.items.len() as f64
     }
 
     /// Relabels every example with a new function (used by Table II:
@@ -236,5 +276,25 @@ mod tests {
     #[should_panic(expected = "input length mismatch")]
     fn push_wrong_length_panics() {
         LabeledSet::new(3).push(BitVec::zeros(4), true);
+    }
+
+    #[test]
+    fn sample_par_matches_sequential_sample() {
+        // Same seed -> same challenge stream -> identical sets, whatever
+        // MLAM_THREADS happens to be.
+        let f = FnFunction::new(10, |x: &BitVec| x.count_ones() >= 5);
+        let seq = LabeledSet::sample(&f, 500, &mut StdRng::seed_from_u64(9));
+        let par = LabeledSet::sample_par(&f, 500, &mut StdRng::seed_from_u64(9));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn accuracy_of_par_matches_sequential() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let f = FnFunction::new(8, |x: &BitVec| x.get(2));
+        let g = FnFunction::new(8, |x: &BitVec| x.get(2) ^ x.get(5));
+        let set = LabeledSet::sample(&f, 3000, &mut rng);
+        assert_eq!(set.accuracy_of(&g), set.accuracy_of_par(&g));
+        assert_eq!(set.accuracy_of_par(&f), 1.0);
     }
 }

@@ -1,10 +1,13 @@
-//! Evaluation harness: learning curves and empirical sample complexity.
+//! Evaluation harness: learning curves, cross-validation and empirical
+//! sample complexity.
 //!
 //! Table I gives analytic CRP bounds; the benchmark harness also
 //! *measures* how many CRPs each learner empirically needs to reach a
 //! target accuracy. [`learning_curve`] and [`crps_to_accuracy`] provide
 //! those measurements for any learner expressible as a closure from a
-//! training set to a hypothesis.
+//! training set to a hypothesis, and [`k_fold_accuracy`] estimates
+//! generalization by deterministic k-fold cross-validation with the
+//! folds trained across `MLAM_THREADS` worker threads.
 
 use crate::dataset::LabeledSet;
 use mlam_boolean::BooleanFunction;
@@ -56,6 +59,41 @@ where
             }
         })
         .collect()
+}
+
+/// Deterministic k-fold cross-validation: returns one held-out accuracy
+/// per fold, in fold order.
+///
+/// Fold `i` holds out the `i`-th of `k` contiguous index ranges of
+/// `data` (the caller shuffles beforehand if the order is meaningful)
+/// and trains `learner` on the remainder. Fold boundaries depend only on
+/// `data.len()` and `k`, and the folds are trained and scored across
+/// `MLAM_THREADS` workers with results assembled in fold order — the
+/// returned accuracies are bit-identical at any thread count.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `data.len() < k`.
+pub fn k_fold_accuracy<L, H>(data: &LabeledSet, k: usize, learner: L) -> Vec<f64>
+where
+    L: Fn(&LabeledSet) -> H + Sync,
+    H: BooleanFunction + Send,
+{
+    assert!(k >= 2, "k-fold needs at least 2 folds");
+    assert!(data.len() >= k, "need at least one example per fold");
+    let n = data.num_inputs();
+    let pairs = data.pairs();
+    mlam_par::par_map_index(k, |i| {
+        let lo = i * pairs.len() / k;
+        let hi = (i + 1) * pairs.len() / k;
+        let test = LabeledSet::from_pairs(n, pairs[lo..hi].to_vec());
+        let mut train_pairs = Vec::with_capacity(pairs.len() - (hi - lo));
+        train_pairs.extend_from_slice(&pairs[..lo]);
+        train_pairs.extend_from_slice(&pairs[hi..]);
+        let train = LabeledSet::from_pairs(n, train_pairs);
+        let h = learner(&train);
+        test.accuracy_of(&h)
+    })
 }
 
 /// Finds (by doubling search) the smallest training-set size at which
@@ -132,6 +170,33 @@ mod tests {
         );
         assert!(m.is_some());
         assert!(m.expect("found") <= 10_000);
+    }
+
+    #[test]
+    fn k_fold_is_deterministic_and_sane_for_ltf() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let target = LinearThreshold::random(14, &mut rng);
+        let data = LabeledSet::sample(&target, 2000, &mut rng);
+        let learner = |train: &LabeledSet| Perceptron::new(40).train(train).model;
+        let a = k_fold_accuracy(&data, 5, learner);
+        let b = k_fold_accuracy(&data, 5, learner);
+        assert_eq!(a, b, "k-fold must be deterministic");
+        assert_eq!(a.len(), 5);
+        let mean = a.iter().sum::<f64>() / a.len() as f64;
+        assert!(mean > 0.8, "folds: {a:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 folds")]
+    fn k_fold_rejects_single_fold() {
+        let data = LabeledSet::sample(
+            &LinearThreshold::random(4, &mut StdRng::seed_from_u64(1)),
+            10,
+            &mut StdRng::seed_from_u64(2),
+        );
+        let _ = k_fold_accuracy(&data, 1, |train: &LabeledSet| {
+            Perceptron::new(1).train(train).model
+        });
     }
 
     #[test]

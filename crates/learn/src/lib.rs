@@ -35,6 +35,8 @@
 //! assert!(outcome.training_accuracy > 0.95);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod automata;
 pub mod boosting;
 pub mod chow;

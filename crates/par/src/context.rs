@@ -1,0 +1,73 @@
+//! Ambient-context propagation into worker threads.
+//!
+//! Observability layers keep per-thread state — the counter-attribution
+//! scope of the current experiment, the innermost live span — in
+//! thread-locals that worker threads would not inherit. A registered
+//! context hook closes that gap without making this crate depend on any
+//! telemetry implementation: at the start of every parallel call the
+//! pool captures the submitting thread's context once, and each worker
+//! re-installs it (RAII guard) for the duration of its task batch.
+//!
+//! With no hook registered, propagation is a no-op. The calling thread
+//! itself never re-installs anything: its ambient context is already
+//! live.
+
+use std::any::Any;
+use std::sync::OnceLock;
+
+/// Context captured on the submitting thread of a parallel call,
+/// shared by reference with every worker the call spawns.
+pub trait CapturedContext: Send + Sync {
+    /// Installs the context on the current (worker) thread. Dropping
+    /// the returned guard un-installs it; the pool drops it after the
+    /// worker's task batch completes.
+    fn resume(&self) -> Box<dyn Any>;
+}
+
+/// The hook signature: snapshot the current thread's ambient context,
+/// or `None` when there is nothing to propagate.
+pub type ContextHook = fn() -> Option<Box<dyn CapturedContext>>;
+
+static HOOK: OnceLock<ContextHook> = OnceLock::new();
+
+/// Registers the process-wide context hook. The first registration
+/// wins; later calls are ignored (the hook is expected to come from
+/// one observability layer, installed once at startup).
+pub fn set_context_hook(hook: ContextHook) {
+    let _ = HOOK.set(hook);
+}
+
+/// Captures the submitting thread's context via the registered hook.
+pub(crate) fn capture() -> Option<Box<dyn CapturedContext>> {
+    HOOK.get().and_then(|hook| hook())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Token;
+
+    impl CapturedContext for Token {
+        fn resume(&self) -> Box<dyn Any> {
+            Box::new(())
+        }
+    }
+
+    #[test]
+    fn capture_without_hook_is_none_then_first_hook_wins() {
+        // Note: hook state is process-global, so this test covers both
+        // the unregistered and the registered path in one sequence.
+        fn hook() -> Option<Box<dyn CapturedContext>> {
+            Some(Box::new(Token))
+        }
+        set_context_hook(hook);
+        assert!(capture().is_some());
+        // A second registration does not replace the first.
+        fn other() -> Option<Box<dyn CapturedContext>> {
+            None
+        }
+        set_context_hook(other);
+        assert!(capture().is_some(), "first hook must keep winning");
+    }
+}

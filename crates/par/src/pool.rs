@@ -1,0 +1,414 @@
+//! The scoped worker pool and its data-parallel entry points.
+//!
+//! Every function here is a fork-join over [`std::thread::scope`]: the
+//! calling thread always participates as worker 0, spawned workers
+//! live only for the duration of one call, and results are assembled
+//! in input order. Work assignment (contiguous ranges for maps,
+//! strided chunk lists for mutable sweeps) affects only *where* an
+//! element is computed, never *what* is computed — see the crate docs
+//! for the determinism contract.
+
+use crate::context;
+
+/// Default chunk size for order-sensitive chunked reductions.
+///
+/// Callers of [`par_chunk_map`] that fold floating-point partials must
+/// use a chunk size that does not depend on the thread count; this
+/// constant is the conventional choice.
+pub const DEFAULT_CHUNK: usize = 1024;
+
+/// Below this many items, parallel maps run inline: spawning threads
+/// costs more than the work saves, and the result is identical.
+const INLINE_THRESHOLD: usize = 64;
+
+/// The effective worker count: the `MLAM_THREADS` environment variable
+/// when set to a positive integer, otherwise the machine's available
+/// parallelism. `MLAM_THREADS=1` makes every parallel entry point run
+/// inline on the calling thread.
+pub fn threads() -> usize {
+    match std::env::var("MLAM_THREADS") {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => default_threads(),
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The contiguous index range worker `w` of `t` owns over `len` items.
+fn range(len: usize, t: usize, w: usize) -> (usize, usize) {
+    (w * len / t, (w + 1) * len / t)
+}
+
+/// Maps `f` over `items` in parallel, returning results in input
+/// order. `f` must be pure per element for the determinism contract to
+/// hold (and there is then nothing scheduling can change).
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_with_threads(threads(), items, f)
+}
+
+/// [`par_map`] with an explicit worker count (mainly for tests and
+/// benchmarks; production paths use the `MLAM_THREADS`-driven wrapper).
+pub fn par_map_with_threads<T, U, F>(t: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_index_with_threads(t, items.len(), |i| f(&items[i]))
+}
+
+/// Maps `f` over the index range `0..len` in parallel, returning
+/// results in index order.
+pub fn par_map_index<U, F>(len: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    par_map_index_with_threads(threads(), len, f)
+}
+
+/// [`par_map_index`] with an explicit worker count.
+pub fn par_map_index_with_threads<U, F>(t: usize, len: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let t = t.max(1).min(len.max(1));
+    if t == 1 || len < INLINE_THRESHOLD {
+        return (0..len).map(f).collect();
+    }
+    let mut slots: Vec<Option<Vec<U>>> = Vec::new();
+    slots.resize_with(t, || None);
+    let ctx = context::capture();
+    std::thread::scope(|s| {
+        let f = &f;
+        let ctx = &ctx;
+        let (mine, rest) = slots.split_at_mut(1);
+        for (w, slot) in rest.iter_mut().enumerate() {
+            let (lo, hi) = range(len, t, w + 1);
+            s.spawn(move || {
+                let _guard = ctx.as_ref().map(|c| c.resume());
+                *slot = Some((lo..hi).map(f).collect());
+            });
+        }
+        let (lo, hi) = range(len, t, 0);
+        mine[0] = Some((lo..hi).map(f).collect());
+    });
+    slots
+        .into_iter()
+        .flat_map(|part| part.expect("worker completed"))
+        .collect()
+}
+
+/// Applies `f` to fixed-size chunks of `items` in parallel, returning
+/// one result per chunk in chunk order.
+///
+/// This is the primitive behind order-sensitive parallel reductions:
+/// pick a chunk size **independent of the thread count** (see
+/// [`DEFAULT_CHUNK`]), compute a partial per chunk, and fold the
+/// returned partials sequentially — the fold order, and therefore any
+/// floating-point rounding, is then identical at every thread count.
+///
+/// # Panics
+///
+/// Panics if `chunk == 0`.
+pub fn par_chunk_map<T, U, F>(items: &[T], chunk: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &[T]) -> U + Sync,
+{
+    par_chunk_map_with_threads(threads(), items, chunk, f)
+}
+
+/// [`par_chunk_map`] with an explicit worker count.
+///
+/// # Panics
+///
+/// Panics if `chunk == 0`.
+pub fn par_chunk_map_with_threads<T, U, F>(t: usize, items: &[T], chunk: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &[T]) -> U + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    let chunks: Vec<&[T]> = items.chunks(chunk).collect();
+    // One task per chunk; a task is big by construction, so hand the
+    // index map a zero threshold by calling the worker split directly.
+    let n = chunks.len();
+    let t = t.max(1).min(n.max(1));
+    if t == 1 {
+        return chunks.iter().enumerate().map(|(i, c)| f(i, c)).collect();
+    }
+    let mut slots: Vec<Option<Vec<U>>> = Vec::new();
+    slots.resize_with(t, || None);
+    let ctx = context::capture();
+    std::thread::scope(|s| {
+        let f = &f;
+        let ctx = &ctx;
+        let chunks = &chunks;
+        let (mine, rest) = slots.split_at_mut(1);
+        for (w, slot) in rest.iter_mut().enumerate() {
+            let (lo, hi) = range(n, t, w + 1);
+            s.spawn(move || {
+                let _guard = ctx.as_ref().map(|c| c.resume());
+                *slot = Some((lo..hi).map(|i| f(i, chunks[i])).collect());
+            });
+        }
+        let (lo, hi) = range(n, t, 0);
+        mine[0] = Some((lo..hi).map(|i| f(i, chunks[i])).collect());
+    });
+    slots
+        .into_iter()
+        .flat_map(|part| part.expect("worker completed"))
+        .collect()
+}
+
+/// Applies `f` to disjoint fixed-size mutable chunks of `data` in
+/// parallel. Chunk boundaries depend only on `chunk`, so results are
+/// identical at any thread count when `f` writes only through its own
+/// chunk (the borrow checker enforces exactly that).
+///
+/// # Panics
+///
+/// Panics if `chunk == 0`.
+pub fn par_for_each_mut<T, F>(data: &mut [T], chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    par_for_each_mut_with_threads(threads(), data, chunk, f)
+}
+
+/// [`par_for_each_mut`] with an explicit worker count.
+///
+/// # Panics
+///
+/// Panics if `chunk == 0`.
+pub fn par_for_each_mut_with_threads<T, F>(t: usize, data: &mut [T], chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    let n = data.len().div_ceil(chunk);
+    let t = t.max(1).min(n.max(1));
+    if t == 1 {
+        for (i, c) in data.chunks_mut(chunk).enumerate() {
+            f(i, c);
+        }
+        return;
+    }
+    // Strided assignment: worker w owns chunks w, w+t, w+2t, … — a
+    // static schedule that balances the tail without any shared queue.
+    let mut batches: Vec<Vec<(usize, &mut [T])>> = Vec::new();
+    batches.resize_with(t, Vec::new);
+    for (i, slice) in data.chunks_mut(chunk).enumerate() {
+        batches[i % t].push((i, slice));
+    }
+    let ctx = context::capture();
+    std::thread::scope(|s| {
+        let f = &f;
+        let ctx = &ctx;
+        let mut batches = batches.into_iter();
+        let mine = batches.next().expect("at least one worker");
+        for batch in batches {
+            s.spawn(move || {
+                let _guard = ctx.as_ref().map(|c| c.resume());
+                for (i, slice) in batch {
+                    f(i, slice);
+                }
+            });
+        }
+        for (i, slice) in mine {
+            f(i, slice);
+        }
+    });
+}
+
+/// A boxed one-shot task for [`par_run`]: the unit of the experiment
+/// fan-out.
+pub type Task<'env, U> = Box<dyn FnOnce() -> U + Send + 'env>;
+
+/// Runs heterogeneous one-shot tasks in parallel, returning their
+/// results in task order — the primitive behind `repro_all`'s
+/// experiment fan-out. Tasks are assigned to workers in a strided
+/// static schedule; each task must be internally deterministic (seed
+/// itself via [`crate::split_seed`], not a shared RNG).
+pub fn par_run<'env, U: Send>(tasks: Vec<Task<'env, U>>) -> Vec<U> {
+    par_run_with_threads(threads(), tasks)
+}
+
+/// [`par_run`] with an explicit worker count.
+pub fn par_run_with_threads<'env, U: Send>(t: usize, tasks: Vec<Task<'env, U>>) -> Vec<U> {
+    let n = tasks.len();
+    let t = t.max(1).min(n.max(1));
+    if t == 1 {
+        return tasks.into_iter().map(|task| task()).collect();
+    }
+    let mut batches: Vec<Vec<(usize, Task<'env, U>)>> = Vec::new();
+    batches.resize_with(t, Vec::new);
+    for (i, task) in tasks.into_iter().enumerate() {
+        batches[i % t].push((i, task));
+    }
+    let mut slots: Vec<Option<U>> = Vec::new();
+    slots.resize_with(n, || None);
+    let ctx = context::capture();
+    std::thread::scope(|s| {
+        let ctx = &ctx;
+        let mut batches = batches.into_iter();
+        let mine = batches.next().expect("at least one worker");
+        let handles: Vec<_> = batches
+            .map(|batch| {
+                s.spawn(move || {
+                    let _guard = ctx.as_ref().map(|c| c.resume());
+                    batch
+                        .into_iter()
+                        .map(|(i, task)| (i, task()))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for (i, task) in mine {
+            slots[i] = Some(task());
+        }
+        for handle in handles {
+            match handle.join() {
+                Ok(results) => {
+                    for (i, value) in results {
+                        slots[i] = Some(value);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("task completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_sequential_at_any_thread_count() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for t in [1, 2, 3, 4, 7, 16] {
+            let got = par_map_with_threads(t, &items, |x| x * x + 1);
+            assert_eq!(got, expected, "t={t}");
+        }
+    }
+
+    #[test]
+    fn small_inputs_run_inline() {
+        let items: Vec<u64> = (0..8).collect();
+        let got = par_map_with_threads(8, &items, |x| x + 1);
+        assert_eq!(got, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn chunked_float_reduction_is_thread_count_invariant() {
+        // Sum of adversarially scaled floats: naive reassociation
+        // changes the result, fixed-chunk folding must not.
+        let items: Vec<f64> = (0..10_000)
+            .map(|i| {
+                ((i * 2_654_435_761u64 % 1000) as f64 - 500.0) * (1.0 + (i % 13) as f64 * 1e-7)
+            })
+            .collect();
+        let fold = |partials: Vec<f64>| partials.into_iter().fold(0.0f64, |a, b| a + b);
+        let reference = fold(par_chunk_map_with_threads(1, &items, 256, |_, c| {
+            c.iter().sum::<f64>()
+        }));
+        for t in [2, 3, 4, 8] {
+            let sum = fold(par_chunk_map_with_threads(t, &items, 256, |_, c| {
+                c.iter().sum::<f64>()
+            }));
+            assert_eq!(sum.to_bits(), reference.to_bits(), "t={t}");
+        }
+    }
+
+    #[test]
+    fn chunk_map_preserves_chunk_order_and_sizes() {
+        let items: Vec<usize> = (0..2500).collect();
+        let got = par_chunk_map_with_threads(4, &items, 1000, |i, c| (i, c.len(), c[0]));
+        assert_eq!(got, vec![(0, 1000, 0), (1, 1000, 1000), (2, 500, 2000)]);
+    }
+
+    #[test]
+    fn for_each_mut_applies_to_every_chunk() {
+        let expected: Vec<u64> = (0..997).map(|i| i + i / 10).collect();
+        for t in [1, 2, 5] {
+            let mut data: Vec<u64> = (0..997).collect();
+            par_for_each_mut_with_threads(t, &mut data, 10, |idx, chunk| {
+                for v in chunk.iter_mut() {
+                    *v += idx as u64;
+                }
+            });
+            assert_eq!(data, expected, "t={t}");
+        }
+    }
+
+    #[test]
+    fn par_run_returns_results_in_task_order() {
+        for t in [1, 2, 4] {
+            let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..9usize)
+                .map(|i| Box::new(move || i * 10) as Box<dyn FnOnce() -> usize + Send>)
+                .collect();
+            let got = par_run_with_threads(t, tasks);
+            assert_eq!(got, vec![0, 10, 20, 30, 40, 50, 60, 70, 80], "t={t}");
+        }
+    }
+
+    #[test]
+    fn par_run_tasks_may_borrow_locals() {
+        let data = [1u64, 2, 3];
+        let tasks: Vec<Box<dyn FnOnce() -> u64 + Send + '_>> = data
+            .iter()
+            .map(|v| Box::new(move || v + 1) as Box<dyn FnOnce() -> u64 + Send + '_>)
+            .collect();
+        assert_eq!(par_run_with_threads(2, tasks), vec![2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn zero_chunk_panics() {
+        par_chunk_map_with_threads(2, &[1, 2, 3], 0, |_, c: &[i32]| c.len());
+    }
+
+    #[test]
+    fn threads_is_at_least_one() {
+        assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn range_partitions_exactly() {
+        for len in [0usize, 1, 7, 100, 101] {
+            for t in 1..8 {
+                let mut covered = 0;
+                for w in 0..t {
+                    let (lo, hi) = range(len, t, w);
+                    assert_eq!(lo, covered);
+                    covered = hi;
+                }
+                assert_eq!(covered, len);
+            }
+        }
+    }
+}

@@ -217,15 +217,27 @@ impl<'de> Deserialize<'de> for CrpSet {
 
 /// Collects `count` CRPs at uniformly random challenges using **ideal**
 /// (noise-free) evaluations.
-pub fn collect_uniform<P: PufModel, R: Rng + ?Sized>(puf: &P, count: usize, rng: &mut R) -> CrpSet {
+///
+/// Challenges are drawn sequentially from `rng` (consuming exactly the
+/// same stream as always), then evaluated as one
+/// [`PufModel::eval_batch`] across `MLAM_THREADS` workers — the
+/// returned set is bit-identical at any thread count.
+pub fn collect_uniform<P: PufModel + Sync, R: Rng + ?Sized>(
+    puf: &P,
+    count: usize,
+    rng: &mut R,
+) -> CrpSet {
     let n = puf.challenge_bits();
-    let mut set = CrpSet::new(n);
-    for _ in 0..count {
-        let c = BitVec::random(n, rng);
-        let r = puf.eval(&c);
-        set.push(Crp::new(c, r));
-    }
-    set
+    let challenges: Vec<BitVec> = (0..count).map(|_| BitVec::random(n, rng)).collect();
+    let responses = puf.eval_batch(&challenges);
+    CrpSet::from_crps(
+        n,
+        challenges
+            .into_iter()
+            .zip(responses)
+            .map(|(c, r)| Crp::new(c, r))
+            .collect(),
+    )
 }
 
 /// Collects `count` CRPs with **noisy** single-shot evaluations — the
@@ -282,6 +294,68 @@ pub fn collect_stable<P: PufModel, R: Rng + ?Sized>(
     set
 }
 
+/// Parallel stable-CRP collection from an explicit root seed.
+///
+/// Same screening procedure as [`collect_stable`], but every candidate
+/// challenge derives its own RNG from `split_seed(seed, candidate
+/// index)` instead of sharing one sequential stream, so candidates can
+/// be screened concurrently across `MLAM_THREADS` workers. Candidates
+/// are accepted **in index order** until `count` stable CRPs are found
+/// (or `10 * count` candidates have been tried), which makes the
+/// returned set a pure function of `(puf, seed)` — bit-identical at
+/// any thread count, though *different* from the [`collect_stable`]
+/// stream for the same underlying seed.
+///
+/// # Panics
+///
+/// Panics if `repeats == 0` or `stability ∉ (0.5, 1.0]`.
+pub fn collect_stable_par<P: PufModel + Sync>(
+    puf: &P,
+    count: usize,
+    repeats: usize,
+    stability: f64,
+    seed: u64,
+) -> CrpSet {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    assert!(repeats > 0, "repeats must be positive");
+    assert!(
+        stability > 0.5 && stability <= 1.0,
+        "stability threshold must be in (0.5, 1.0]"
+    );
+    let n = puf.challenge_bits();
+    let max_attempts = count.saturating_mul(10);
+    let mut set = CrpSet::new(n);
+    let mut next_candidate = 0usize;
+    // Screen candidates in fixed-size waves; each candidate is an
+    // independent task, accepted in index order, so neither the wave
+    // size nor the thread count can change which CRPs are kept.
+    const WAVE: usize = 512;
+    while set.len() < count && next_candidate < max_attempts {
+        let wave = WAVE.min(max_attempts - next_candidate);
+        let screened = mlam_par::par_map_index(wave, |offset| {
+            let index = next_candidate + offset;
+            let mut rng = StdRng::seed_from_u64(mlam_par::split_seed(seed, index as u64));
+            let c = BitVec::random(n, &mut rng);
+            let ones = (0..repeats)
+                .filter(|_| puf.eval_noisy(&c, &mut rng))
+                .count();
+            let majority = ones * 2 >= repeats;
+            let agree = if majority { ones } else { repeats - ones };
+            (agree as f64 / repeats as f64 >= stability).then(|| Crp::new(c, majority))
+        });
+        for crp in screened.into_iter().flatten() {
+            if set.len() == count {
+                break;
+            }
+            set.push(crp);
+        }
+        next_candidate += wave;
+    }
+    set
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -319,6 +393,38 @@ mod tests {
             set.len()
         );
         assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn eval_batch_matches_sequential_eval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let puf = ArbiterPuf::sample(24, 0.0, &mut rng);
+        let challenges: Vec<BitVec> = (0..300).map(|_| BitVec::random(24, &mut rng)).collect();
+        let batch = puf.eval_batch(&challenges);
+        for (c, r) in challenges.iter().zip(&batch) {
+            assert_eq!(puf.eval(c), *r);
+        }
+    }
+
+    #[test]
+    fn stable_par_is_seed_deterministic_and_filters_noise() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let puf = ArbiterPuf::sample(32, 0.3, &mut rng);
+        let a = collect_stable_par(&puf, 150, 9, 1.0, 77);
+        let b = collect_stable_par(&puf, 150, 9, 1.0, 77);
+        assert_eq!(a, b, "same (puf, seed) must give the same set");
+        assert!(!a.is_empty());
+        let mut wrong = 0;
+        for (c, r) in a.iter() {
+            if puf.eval(c) != r {
+                wrong += 1;
+            }
+        }
+        assert!(
+            (wrong as f64) < a.len() as f64 * 0.02,
+            "{wrong}/{} stable CRPs disagree with ideal",
+            a.len()
+        );
     }
 
     #[test]

@@ -35,6 +35,8 @@
 //! assert_eq!(crps.len(), 100);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod arbiter;
 pub mod arff;
 pub mod bistable_ring;
@@ -80,6 +82,19 @@ pub trait PufModel: BooleanFunction {
     fn eval_noisy<R: Rng + ?Sized>(&self, challenge: &BitVec, rng: &mut R) -> bool
     where
         Self: Sized;
+
+    /// Evaluates the **ideal** response on every challenge, fanned out
+    /// across `MLAM_THREADS` worker threads.
+    ///
+    /// Each evaluation is a pure function of the challenge, so the
+    /// result equals mapping [`BooleanFunction::eval`] sequentially —
+    /// bit-identical at any thread count.
+    fn eval_batch(&self, challenges: &[BitVec]) -> Vec<bool>
+    where
+        Self: Sized + Sync,
+    {
+        mlam_par::par_map(challenges, |c| self.eval(c))
+    }
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 //!
 //! The three layers:
 //!
-//! - [`span`] — scoped wall-clock timing. [`span::span("name")`] returns
+//! - [`mod@span`] — scoped wall-clock timing. `span::span("name")` returns
 //!   a guard; dropping it records the elapsed time, feeds the
 //!   per-span-name duration histogram, and emits start/end events to
 //!   the installed sinks. Every event carries a process-unique span id
@@ -24,18 +24,20 @@
 
 pub mod manifest;
 pub mod metrics;
+pub mod propagate;
 pub mod recorder;
 pub mod rundir;
 pub mod span;
 
 pub use manifest::{ExperimentRecord, RunManifest};
 pub use metrics::{
-    counter_handle, histogram_handle, snapshot, write_metrics_jsonl, Counter, Histogram,
-    HistogramSnapshot, MetricLine, MetricsSnapshot,
+    counter_handle, histogram_handle, snapshot, write_metrics_jsonl, Counter, CounterScope,
+    CounterScopeGuard, Histogram, HistogramSnapshot, MetricLine, MetricsSnapshot,
 };
+pub use propagate::install_parallel_propagation;
 pub use recorder::{add_sink, stderr_level, Event, EventKind, JsonlSink, Level, Sink};
 pub use rundir::RunDir;
-pub use span::{span, Span};
+pub use span::{current_context, enter_context, span, Span, SpanContext, SpanContextGuard};
 
 /// Looks up (and caches, via a hidden `static`) the named counter, then
 /// adds `delta` to it. With one argument, returns the cached

@@ -6,7 +6,9 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Bumped when the manifest layout changes incompatibly.
-pub const MANIFEST_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: added the `threads` field (worker threads used for the run).
+pub const MANIFEST_SCHEMA_VERSION: u32 = 2;
 
 /// Wall-clock and query accounting for one experiment in a run.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -29,6 +31,10 @@ pub struct RunManifest {
     pub seed: u64,
     /// Whether the reduced `--quick` parameter set was used.
     pub quick: bool,
+    /// Worker threads used for the run (`MLAM_THREADS`). Recorded for
+    /// performance context only: results are thread-count invariant,
+    /// and `mlam-trace compare` accepts runs with different `threads`.
+    pub threads: usize,
     /// Wall-clock start of the run, Unix milliseconds.
     pub started_unix_ms: u64,
     /// Total wall-clock seconds for the run.
@@ -53,6 +59,7 @@ impl RunManifest {
             tool: tool.into(),
             seed,
             quick,
+            threads: 1,
             started_unix_ms,
             total_seconds: 0.0,
             crate_versions: Vec::new(),
@@ -81,6 +88,7 @@ mod tests {
     #[test]
     fn manifest_round_trips_through_json() {
         let mut manifest = RunManifest::new("repro_all", 0xDA7E_2020, true);
+        manifest.threads = 4;
         manifest
             .crate_versions
             .push(("mlam".into(), "0.1.0".into()));

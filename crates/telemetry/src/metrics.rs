@@ -8,6 +8,7 @@
 //! the first lookup.
 
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -20,12 +21,25 @@ pub const HISTOGRAM_BUCKETS: usize = 65;
 /// A monotonically increasing named counter.
 #[derive(Clone)]
 pub struct Counter {
+    name: Arc<str>,
     cell: Arc<AtomicU64>,
 }
 
 impl Counter {
     pub fn add(&self, delta: u64) {
         self.cell.fetch_add(delta, Ordering::Relaxed);
+        // Attribute the increment to the thread's active counter scope
+        // (if any). The write goes to a thread-local buffer, so scoped
+        // attribution adds no cross-thread synchronization to hot
+        // paths; buffers drain into the shared scope when the guard
+        // that installed the scope on this thread drops.
+        if delta > 0 {
+            THREAD_SCOPE.with(|slot| {
+                if let Some(scope) = slot.borrow_mut().as_mut() {
+                    *scope.buffer.entry(Arc::clone(&self.name)).or_insert(0) += delta;
+                }
+            });
+        }
     }
 
     pub fn incr(&self) {
@@ -35,6 +49,128 @@ impl Counter {
     pub fn get(&self) -> u64 {
         self.cell.load(Ordering::Relaxed)
     }
+
+    /// The registry name this counter was created under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Accumulates the counter increments attributable to one logical
+/// scope — typically one experiment — across every thread that
+/// participates in it.
+///
+/// Counter *values* stay global (the atomics are always updated);
+/// a scope only captures attribution. Install the scope on a thread
+/// with [`CounterScope::enter`]; worker threads spawned by `mlam-par`
+/// inherit the submitting thread's scope automatically once
+/// [`crate::propagate::install_parallel_propagation`] has run (which
+/// [`CounterScope::new`] guarantees). Because every participating
+/// thread attributes into the same sink and increments are summed,
+/// the totals reported by [`CounterScope::take`] are identical at any
+/// thread count.
+pub struct CounterScope {
+    sink: Arc<ScopeSink>,
+}
+
+/// The shared accumulation target behind one [`CounterScope`].
+pub(crate) struct ScopeSink {
+    deltas: Mutex<BTreeMap<String, u64>>,
+}
+
+/// Per-thread view of the installed scope: the shared sink plus a
+/// local buffer that batches increments between guard drops.
+struct ThreadScope {
+    sink: Arc<ScopeSink>,
+    buffer: BTreeMap<Arc<str>, u64>,
+}
+
+impl ThreadScope {
+    fn flush(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let mut deltas = self.sink.deltas.lock().expect("counter scope poisoned");
+        for (name, delta) in std::mem::take(&mut self.buffer) {
+            *deltas.entry(name.as_ref().to_owned()).or_insert(0) += delta;
+        }
+    }
+}
+
+thread_local! {
+    static THREAD_SCOPE: RefCell<Option<ThreadScope>> = const { RefCell::new(None) };
+}
+
+impl CounterScope {
+    /// A fresh, empty scope. Also registers telemetry's context hook
+    /// with the parallel runtime so the scope follows work onto
+    /// `mlam-par` worker threads.
+    pub fn new() -> CounterScope {
+        crate::propagate::install_parallel_propagation();
+        CounterScope {
+            sink: Arc::new(ScopeSink {
+                deltas: Mutex::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// Installs this scope on the current thread; attribution reverts
+    /// to the previously installed scope (if any) when the returned
+    /// guard drops.
+    pub fn enter(&self) -> CounterScopeGuard {
+        enter_sink(Arc::clone(&self.sink))
+    }
+
+    /// Drains the increments attributed so far (zero entries omitted).
+    /// Call after every guard handed out by [`CounterScope::enter`] —
+    /// on this thread or any worker — has dropped, or buffered
+    /// increments may not have reached the sink yet.
+    pub fn take(&self) -> BTreeMap<String, u64> {
+        let mut deltas = self.sink.deltas.lock().expect("counter scope poisoned");
+        let mut taken = std::mem::take(&mut *deltas);
+        taken.retain(|_, v| *v > 0);
+        taken
+    }
+}
+
+impl Default for CounterScope {
+    fn default() -> Self {
+        CounterScope::new()
+    }
+}
+
+/// RAII guard that keeps a [`CounterScope`] installed on one thread.
+pub struct CounterScopeGuard {
+    prev: Option<ThreadScope>,
+}
+
+impl Drop for CounterScopeGuard {
+    fn drop(&mut self) {
+        THREAD_SCOPE.with(|slot| {
+            let mut slot = slot.borrow_mut();
+            if let Some(mut scope) = slot.take() {
+                scope.flush();
+            }
+            *slot = self.prev.take();
+        });
+    }
+}
+
+/// The sink installed on the current thread, if any (used by the
+/// parallel-context hook to carry attribution onto workers).
+pub(crate) fn current_sink() -> Option<Arc<ScopeSink>> {
+    THREAD_SCOPE.with(|slot| slot.borrow().as_ref().map(|t| Arc::clone(&t.sink)))
+}
+
+/// Installs `sink` as the current thread's attribution target.
+pub(crate) fn enter_sink(sink: Arc<ScopeSink>) -> CounterScopeGuard {
+    THREAD_SCOPE.with(|slot| {
+        let prev = slot.borrow_mut().replace(ThreadScope {
+            sink,
+            buffer: BTreeMap::new(),
+        });
+        CounterScopeGuard { prev }
+    })
 }
 
 /// A log₂-bucketed histogram of `u64` observations.
@@ -198,6 +334,7 @@ pub fn counter_handle(name: &str) -> Counter {
     counters
         .entry(name.to_owned())
         .or_insert_with(|| Counter {
+            name: Arc::from(name),
             cell: Arc::new(AtomicU64::new(0)),
         })
         .clone()
@@ -420,6 +557,70 @@ mod tests {
         };
         assert_eq!(shuffled.percentile(0.5), Some(0));
         assert_eq!(HistogramSnapshot::default().percentile(0.5), None);
+    }
+
+    #[test]
+    fn counter_scopes_attribute_increments() {
+        let c = counter_handle("test.metrics.scope_a");
+        c.add(100); // outside any scope: global only
+        let scope = CounterScope::new();
+        {
+            let _guard = scope.enter();
+            c.add(3);
+            counter_handle("test.metrics.scope_b").incr();
+        }
+        let deltas = scope.take();
+        assert_eq!(deltas["test.metrics.scope_a"], 3);
+        assert_eq!(deltas["test.metrics.scope_b"], 1);
+        // take() drains: a second take sees nothing new.
+        assert!(scope.take().is_empty());
+        // Increments after the guard dropped are not attributed.
+        c.add(7);
+        assert!(scope.take().is_empty());
+    }
+
+    #[test]
+    fn counter_scopes_nest_and_restore() {
+        let c = counter_handle("test.metrics.scope_nest");
+        let outer = CounterScope::new();
+        let inner = CounterScope::new();
+        let _outer_guard = outer.enter();
+        c.add(1);
+        {
+            let _inner_guard = inner.enter();
+            c.add(10);
+        }
+        c.add(2);
+        drop(_outer_guard);
+        assert_eq!(inner.take()["test.metrics.scope_nest"], 10);
+        assert_eq!(outer.take()["test.metrics.scope_nest"], 3);
+    }
+
+    #[test]
+    fn counter_scope_sums_across_threads() {
+        let c = counter_handle("test.metrics.scope_threads");
+        let scope = CounterScope::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let scope = &scope;
+                let c = c.clone();
+                s.spawn(move || {
+                    let _guard = scope.enter();
+                    for _ in 0..25 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(scope.take()["test.metrics.scope_threads"], 100);
+    }
+
+    #[test]
+    fn counter_names_are_exposed() {
+        assert_eq!(
+            counter_handle("test.metrics.named").name(),
+            "test.metrics.named"
+        );
     }
 
     #[test]

@@ -116,7 +116,11 @@ impl Span {
             // order, before this span can emit anything.
             flush_pending_starts(&mut stack, tid);
             let parent_id = stack.last().map(|f| f.id);
-            let depth = stack.len();
+            // Depth comes from the enclosing frame, not the stack
+            // height: a context frame installed by [`enter_context`]
+            // carries its original depth, so spans created on worker
+            // threads report the same depth as they would inline.
+            let depth = stack.last().map(|f| f.depth + 1).unwrap_or(0);
             stack.push(Frame {
                 id,
                 parent_id,
@@ -169,6 +173,73 @@ impl Span {
     /// Time since the span started (monotonic).
     pub fn elapsed(&self) -> Duration {
         self.start.elapsed()
+    }
+}
+
+/// A portable handle to the innermost live span of some thread, used
+/// to parent spans created on `mlam-par` worker threads under the
+/// span that was live where the parallel call was submitted.
+#[derive(Clone, Debug)]
+pub struct SpanContext {
+    parent_id: u64,
+    depth: usize,
+    name: String,
+}
+
+/// Captures the current thread's innermost live span as a portable
+/// [`SpanContext`], or `None` when no span is live.
+///
+/// Capturing counts as a *use* of the live spans: their deferred start
+/// events are flushed first, so a child span started on another thread
+/// can never be dispatched before its parent's start event.
+pub fn current_context() -> Option<SpanContext> {
+    STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        flush_pending_starts(&mut stack, current_tid());
+        stack.last().map(|f| SpanContext {
+            parent_id: f.id,
+            depth: f.depth,
+            name: f.name.clone(),
+        })
+    })
+}
+
+/// Re-installs a captured [`SpanContext`] on the current (worker)
+/// thread: until the returned guard drops, spans started here nest
+/// under the captured span exactly as if they had been started on the
+/// capturing thread.
+pub fn enter_context(ctx: SpanContext) -> SpanContextGuard {
+    STACK.with(|stack| {
+        stack.borrow_mut().push(Frame {
+            id: ctx.parent_id,
+            parent_id: None,
+            name: ctx.name,
+            depth: ctx.depth,
+            start_ts_ns: 0,
+            attrs: Vec::new(),
+            // The original frame's start event was flushed when the
+            // context was captured; this placeholder must never emit
+            // another one.
+            started: true,
+        });
+    });
+    SpanContextGuard { id: ctx.parent_id }
+}
+
+/// RAII guard that keeps a re-installed [`SpanContext`] live on one
+/// thread; dropping it removes the context frame again.
+pub struct SpanContextGuard {
+    id: u64,
+}
+
+impl Drop for SpanContextGuard {
+    fn drop(&mut self) {
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|f| f.id == self.id) {
+                stack.truncate(pos);
+            }
+        });
     }
 }
 
@@ -328,6 +399,54 @@ mod tests {
         tids.sort_unstable();
         tids.dedup();
         assert_eq!(tids.len(), 4, "telemetry thread ids are per-thread");
+    }
+
+    #[test]
+    fn contexts_parent_spans_across_threads() {
+        let (tx, rx) = mpsc::channel();
+        add_sink(Box::new(ChannelSink(tx)));
+        let outer = span("span-ctx-outer");
+        let outer_id = outer.id();
+        let ctx = current_context().expect("a span is live");
+        std::thread::spawn(move || {
+            let _guard = enter_context(ctx);
+            let child = span("span-ctx-child");
+            assert_eq!(child.parent_id(), Some(outer_id));
+        })
+        .join()
+        .unwrap();
+        // After the worker's guard dropped, new spans there would be
+        // roots again; on this thread nesting is untouched.
+        let sibling = span("span-ctx-sibling");
+        assert_eq!(sibling.parent_id(), Some(outer_id));
+        drop(sibling);
+        drop(outer);
+        let events: Vec<Event> = rx.try_iter().collect();
+        let outer_start_idx = events
+            .iter()
+            .position(|e| e.name == "span-ctx-outer" && e.kind == EventKind::SpanStart)
+            .expect("outer start flushed by capture");
+        let child_start = events
+            .iter()
+            .find(|e| e.name == "span-ctx-child" && e.kind == EventKind::SpanStart)
+            .expect("child start");
+        assert_eq!(child_start.parent_id, Some(outer_id));
+        assert_eq!(child_start.depth, events[outer_start_idx].depth + 1);
+        let child_start_idx = events
+            .iter()
+            .position(|e| std::ptr::eq(e, child_start))
+            .unwrap();
+        assert!(
+            outer_start_idx < child_start_idx,
+            "parent start must be dispatched before the cross-thread child's"
+        );
+    }
+
+    #[test]
+    fn context_without_live_span_is_none() {
+        std::thread::spawn(|| assert!(current_context().is_none()))
+            .join()
+            .unwrap();
     }
 
     #[test]

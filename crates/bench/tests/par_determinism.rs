@@ -91,6 +91,7 @@ fn quick_run_is_identical_at_one_and_four_threads() {
     let options = mlam_trace::compare::CompareOptions {
         threshold: 2.0,
         min_wall_s: 1.0,
+        ..Default::default()
     };
     let report = mlam_trace::compare::compare(&manifest_1, &manifest_4, &options);
     assert!(

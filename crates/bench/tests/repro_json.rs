@@ -177,6 +177,7 @@ fn quick_json_run_is_complete_and_deterministic() {
     let options = mlam_trace::compare::CompareOptions {
         threshold: 2.0,
         min_wall_s: 1.0,
+        ..Default::default()
     };
     let report = mlam_trace::compare::compare(&manifest_a, &manifest_b, &options);
     assert!(

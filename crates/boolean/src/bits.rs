@@ -255,6 +255,51 @@ impl BitVec {
         }
     }
 
+    /// The backing `u64` words, least-significant first: bit `i` of the
+    /// vector is bit `i % 64` of word `i / 64`. Bits past `len()` in
+    /// the last word are always zero.
+    ///
+    /// This is the raw layout consumed by word-parallel kernels such as
+    /// the bit-sliced PUF evaluators.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Packed suffix parities: bit `i` of the result (same word layout
+    /// as [`BitVec::words`]) is the XOR of bits `i..len()`.
+    ///
+    /// This is the sign pattern of the arbiter Φ transform — `Φ_i` is
+    /// negative exactly when the suffix parity at `i` is odd. Each word
+    /// is resolved with a log-shift XOR scan plus a parity carry from
+    /// the higher words, so the cost is O(len/64) word operations
+    /// instead of O(len) bit reads. Bits past `len()` in the last word
+    /// are zero, matching the [`BitVec::words`] invariant.
+    pub fn suffix_parity_words(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.words.len()];
+        // All-ones while the combined parity of the higher words is odd.
+        let mut carry = 0u64;
+        for g in (0..self.words.len()).rev() {
+            let mut p = self.words[g];
+            p ^= p >> 1;
+            p ^= p >> 2;
+            p ^= p >> 4;
+            p ^= p >> 8;
+            p ^= p >> 16;
+            p ^= p >> 32;
+            let v = p ^ carry;
+            out[g] = v;
+            carry = if v & 1 == 1 { u64::MAX } else { 0 };
+        }
+        let rem = self.len % 64;
+        if rem != 0 {
+            if let Some(last) = out.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+        out
+    }
+
     fn mask_tail(&mut self) {
         let rem = self.len % 64;
         if rem != 0 {
@@ -443,5 +488,45 @@ mod tests {
         let w = v.with_flipped(8);
         assert_eq!(v.hamming(&w), 1);
         assert!(w.get(8));
+    }
+
+    #[test]
+    fn words_expose_the_backing_layout() {
+        let mut v = BitVec::zeros(70);
+        v.set(3, true);
+        v.set(69, true);
+        assert_eq!(v.words().len(), 2);
+        assert_eq!(v.words()[0], 1 << 3);
+        assert_eq!(v.words()[1], 1 << 5);
+    }
+
+    #[test]
+    fn suffix_parity_matches_scalar_definition() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for len in [0usize, 1, 2, 63, 64, 65, 100, 127, 128, 129, 200] {
+            for _ in 0..8 {
+                let v = BitVec::random(len, &mut rng);
+                let sp = v.suffix_parity_words();
+                assert_eq!(sp.len(), len.div_ceil(64));
+                for i in 0..len {
+                    let scalar = (i..len).fold(false, |acc, j| acc ^ v.get(j));
+                    assert_eq!(
+                        (sp[i / 64] >> (i % 64)) & 1 == 1,
+                        scalar,
+                        "len {len} bit {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn suffix_parity_tail_is_masked() {
+        let mut rng = StdRng::seed_from_u64(19);
+        for _ in 0..10 {
+            let v = BitVec::random(70, &mut rng);
+            let sp = v.suffix_parity_words();
+            assert_eq!(sp[1] >> 6, 0, "bits past len must stay zero");
+        }
     }
 }

@@ -93,4 +93,31 @@ proptest! {
         v.flip(i);
         prop_assert_eq!(v, orig);
     }
+
+    /// words() exposes exactly the bits read by get(), with a zero tail.
+    #[test]
+    fn words_agree_with_get(bits in prop::collection::vec(any::<bool>(), 0..200)) {
+        let v = BitVec::from_bools(&bits);
+        let words = v.words();
+        prop_assert_eq!(words.len(), bits.len().div_ceil(64));
+        for (i, &b) in bits.iter().enumerate() {
+            prop_assert_eq!((words[i / 64] >> (i % 64)) & 1 == 1, b);
+        }
+        let rem = bits.len() % 64;
+        if rem != 0 {
+            prop_assert_eq!(words[words.len() - 1] >> rem, 0);
+        }
+    }
+
+    /// suffix_parity_words matches the scalar suffix-XOR definition at
+    /// every index, for any length (including non-multiple-of-64 tails).
+    #[test]
+    fn suffix_parity_words_match_scalar(bits in prop::collection::vec(any::<bool>(), 0..200)) {
+        let v = BitVec::from_bools(&bits);
+        let sp = v.suffix_parity_words();
+        for i in 0..bits.len() {
+            let scalar = bits[i..].iter().fold(false, |acc, &b| acc ^ b);
+            prop_assert_eq!((sp[i / 64] >> (i % 64)) & 1 == 1, scalar);
+        }
+    }
 }

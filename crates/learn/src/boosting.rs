@@ -12,7 +12,8 @@
 //! margin-style convergence.
 
 use crate::dataset::LabeledSet;
-use mlam_boolean::{to_pm, BitVec, BooleanFunction};
+use crate::feature_matrix::for_each_set_bit;
+use mlam_boolean::{BitVec, BooleanFunction};
 
 /// A decision stump: predicts `polarity · χ_mask(x)` (±1 encoding).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -134,16 +135,19 @@ impl AdaBoost {
             .collect();
         let masks = self.masks.as_deref().unwrap_or(&default_masks);
 
-        // Precompute stump predictions per example.
+        // Precompute stump predictions per example as packed sign words
+        // (bit set ⇔ the stump or label is −1.0): a round then scans one
+        // XOR'd mismatch word per 64 examples instead of two f64 rows.
         let m = data.len();
-        let labels: Vec<f64> = data.pairs().iter().map(|(_, y)| to_pm(*y)).collect();
-        let preds: Vec<Vec<f64>> = masks
+        let label_words: Vec<u64> =
+            crate::feature_matrix::pack_sign_bits(data.pairs().iter().map(|(_, y)| *y));
+        let mismatches: Vec<Vec<u64>> = masks
             .iter()
             .map(|&mask| {
-                data.pairs()
-                    .iter()
-                    .map(|(x, _)| if x.parity_masked(mask) { -1.0 } else { 1.0 })
-                    .collect()
+                let pred = crate::feature_matrix::pack_sign_bits(
+                    data.pairs().iter().map(|(x, _)| x.parity_masked(mask)),
+                );
+                pred.iter().zip(&label_words).map(|(p, t)| p ^ t).collect()
             })
             .collect();
 
@@ -152,16 +156,13 @@ impl AdaBoost {
         let mut round_errors = Vec::new();
 
         for _ in 0..self.rounds {
-            // Best stump under current weights.
+            // Best stump under current weights: the weighted error sums
+            // the mismatching examples in ascending index order, exactly
+            // as the former zip-filter scan did.
             let mut best: Option<(usize, f64, f64)> = None; // (mask idx, polarity, err)
-            for (mi, pred) in preds.iter().enumerate() {
-                let weighted_err_pos: f64 = pred
-                    .iter()
-                    .zip(&labels)
-                    .zip(&weights)
-                    .filter(|((p, t), _)| **p != **t)
-                    .map(|(_, w)| *w)
-                    .sum();
+            for (mi, mismatch) in mismatches.iter().enumerate() {
+                let mut weighted_err_pos = 0.0f64;
+                for_each_set_bit(mismatch, m, |i| weighted_err_pos += weights[i]);
                 for (polarity, err) in [(1.0, weighted_err_pos), (-1.0, 1.0 - weighted_err_pos)] {
                     if best.map(|(_, _, be)| err < be).unwrap_or(true) {
                         best = Some((mi, polarity, err));
@@ -182,11 +183,18 @@ impl AdaBoost {
                     polarity,
                 },
             ));
-            // Reweight.
+            // Reweight. The scalar multiplier exp(−α·h·t) only takes two
+            // values (h, t = ±1), precomputed here once; the per-example
+            // products and the normalization sum keep index order.
+            let shrink = (-alpha).exp(); // h·t = +1 (stump agrees)
+            let grow = alpha.exp(); // h·t = −1 (stump disagrees)
+            let polarity_neg = polarity < 0.0;
+            let mismatch = &mismatches[mi];
             let mut total = 0.0;
-            for ((w, pred), t) in weights.iter_mut().zip(&preds[mi]).zip(&labels) {
-                let h = polarity * pred;
-                *w *= (-alpha * h * t).exp();
+            for (i, w) in weights.iter_mut().enumerate() {
+                let mismatched = (mismatch[i / 64] >> (i % 64)) & 1 == 1;
+                let ht_negative = mismatched != polarity_neg;
+                *w *= if ht_negative { grow } else { shrink };
                 total += *w;
             }
             for w in &mut weights {

@@ -10,7 +10,8 @@
 //! the PUF-specific wrapper [`fit_xor_delay_model`].
 
 use crate::dataset::LabeledSet;
-use crate::features::{ArbiterPhiFeatures, FeatureMap};
+use crate::feature_matrix::FeatureMatrix;
+use crate::features::ArbiterPhiFeatures;
 use mlam_boolean::{BitVec, BooleanFunction};
 use rand::Rng;
 
@@ -382,10 +383,18 @@ impl BooleanFunction for XorDelayModel {
     }
 
     fn eval(&self, x: &BitVec) -> bool {
-        let phi = ArbiterPhiFeatures::new(self.n).features(x);
+        assert_eq!(x.len(), self.n, "input length mismatch");
+        // Suffix-parity sign words stand in for the Φ vector: bit `i`
+        // set ⇔ Φ_i = −1, so each `w·Φ` term is an exact sign flip and
+        // no per-call `Vec<f64>` is materialized.
+        let signs = x.suffix_parity_words();
         let mut prod = 1.0f64;
         for chain in self.weights.chunks(self.n + 1) {
-            let s: f64 = chain.iter().zip(&phi).map(|(w, p)| w * p).sum();
+            let mut s = 0.0f64;
+            for (i, &w) in chain[..self.n].iter().enumerate() {
+                s += f64::from_bits(w.to_bits() ^ (((signs[i / 64] >> (i % 64)) & 1) << 63));
+            }
+            s += chain[self.n];
             prod *= if s < 0.0 { -1.0 } else { 1.0 };
         }
         prod < 0.0
@@ -409,26 +418,23 @@ pub fn fit_xor_delay_model<R: Rng + ?Sized>(
     assert!(!data.is_empty());
     assert!(k > 0);
     let n = data.num_inputs();
-    let map = ArbiterPhiFeatures::new(n);
-    let feats: Vec<(Vec<f64>, f64)> = data
-        .pairs()
-        .iter()
-        .map(|(x, y)| (map.features(x), mlam_boolean::to_pm(*y)))
-        .collect();
+    // The Φ features are packed once (one sign bit per feature) and
+    // shared by every fitness evaluation of every generation.
+    let fm = FeatureMatrix::build(&ArbiterPhiFeatures::new(n), data);
     let d = k * (n + 1);
     let objective = |theta: &[f64]| -> f64 {
         let mut wrong = 0usize;
-        for (phi, t) in &feats {
+        for row in 0..fm.examples() {
             let mut prod = 1.0f64;
             for chain in theta.chunks(n + 1) {
-                let s: f64 = chain.iter().zip(phi).map(|(w, p)| w * p).sum();
+                let s = fm.dot(row, chain);
                 prod *= if s < 0.0 { -1.0 } else { 1.0 };
             }
-            if prod * t < 0.0 {
+            if prod * fm.label(row) < 0.0 {
                 wrong += 1;
             }
         }
-        wrong as f64 / feats.len() as f64
+        wrong as f64 / fm.examples() as f64
     };
     let x0: Vec<f64> = (0..d).map(|_| 0.3 * gaussian(rng)).collect();
     let result = CmaEs::new(options).minimize(&objective, &x0, rng);

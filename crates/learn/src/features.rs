@@ -26,6 +26,25 @@ pub trait FeatureMap {
     ///
     /// Implementations may panic if `x.len() != self.num_inputs()`.
     fn features(&self, x: &BitVec) -> Vec<f64>;
+
+    /// Computes the features of `x` into a caller-owned buffer, so hot
+    /// loops can reuse one allocation across many examples. The buffer
+    /// is cleared first; afterwards it holds exactly
+    /// [`dimension`](FeatureMap::dimension) values identical to
+    /// [`features`](FeatureMap::features).
+    fn features_into(&self, x: &BitVec, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.features(x));
+    }
+
+    /// Whether every feature value this map produces is exactly `±1.0`.
+    ///
+    /// Sign-valued maps allow [`crate::feature_matrix::FeatureMatrix`]
+    /// to store one sign *bit* per feature instead of an `f64`, which is
+    /// what makes the cached-matrix learners cache-resident.
+    fn is_sign_valued(&self) -> bool {
+        false
+    }
 }
 
 /// The ±1 encoding with a constant feature: `[x_0, …, x_{n−1}, 1]`
@@ -53,13 +72,23 @@ impl FeatureMap for PlusMinusFeatures {
     }
 
     fn features(&self, x: &BitVec) -> Vec<f64> {
-        assert_eq!(x.len(), self.n, "input length mismatch");
-        let mut v = Vec::with_capacity(self.n + 1);
-        for i in 0..self.n {
-            v.push(x.pm(i));
-        }
-        v.push(1.0);
+        let mut v = Vec::new();
+        self.features_into(x, &mut v);
         v
+    }
+
+    fn features_into(&self, x: &BitVec, out: &mut Vec<f64>) {
+        assert_eq!(x.len(), self.n, "input length mismatch");
+        out.clear();
+        out.reserve(self.n + 1);
+        for i in 0..self.n {
+            out.push(x.pm(i));
+        }
+        out.push(1.0);
+    }
+
+    fn is_sign_valued(&self) -> bool {
+        true
     }
 }
 
@@ -88,17 +117,27 @@ impl FeatureMap for ArbiterPhiFeatures {
     }
 
     fn features(&self, x: &BitVec) -> Vec<f64> {
+        let mut phi = Vec::new();
+        self.features_into(x, &mut phi);
+        phi
+    }
+
+    fn features_into(&self, x: &BitVec, out: &mut Vec<f64>) {
         assert_eq!(x.len(), self.n, "input length mismatch");
         // Suffix parity products, identical to mlam_puf::phi_transform
         // (duplicated here to keep the learn crate independent of the
         // puf crate).
-        let mut phi = vec![1.0; self.n + 1];
+        out.clear();
+        out.resize(self.n + 1, 1.0);
         let mut acc = 1.0;
         for i in (0..self.n).rev() {
             acc *= if x.get(i) { -1.0 } else { 1.0 };
-            phi[i] = acc;
+            out[i] = acc;
         }
-        phi
+    }
+
+    fn is_sign_valued(&self) -> bool {
+        true
     }
 }
 
@@ -129,6 +168,22 @@ impl LowDegreeFeatures {
         }
     }
 
+    /// Creates the map from an explicit set of parity masks (e.g. the
+    /// stump masks an [`crate::boosting::AdaBoost`] run settled on).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `masks` is empty or a mask references a bit `≥ n`.
+    pub fn from_masks(n: usize, masks: Vec<u64>) -> Self {
+        assert!(!masks.is_empty(), "need at least one mask");
+        assert!(n <= 64, "masks address at most 64 bits");
+        let valid = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        for &m in &masks {
+            assert_eq!(m & !valid, 0, "mask {m:#x} references bits >= {n}");
+        }
+        LowDegreeFeatures { n, masks }
+    }
+
     /// The parity masks, in degree order.
     pub fn masks(&self) -> &[u64] {
         &self.masks
@@ -145,18 +200,26 @@ impl FeatureMap for LowDegreeFeatures {
     }
 
     fn features(&self, x: &BitVec) -> Vec<f64> {
+        let mut v = Vec::new();
+        self.features_into(x, &mut v);
+        v
+    }
+
+    fn features_into(&self, x: &BitVec, out: &mut Vec<f64>) {
         assert_eq!(x.len(), self.n, "input length mismatch");
         let xm = x.to_u64();
-        self.masks
-            .iter()
-            .map(|&m| {
-                if (xm & m).count_ones() % 2 == 1 {
-                    -1.0
-                } else {
-                    1.0
-                }
-            })
-            .collect()
+        out.clear();
+        out.extend(self.masks.iter().map(|&m| {
+            if (xm & m).count_ones() % 2 == 1 {
+                -1.0
+            } else {
+                1.0
+            }
+        }));
+    }
+
+    fn is_sign_valued(&self) -> bool {
+        true
     }
 }
 
@@ -208,5 +271,43 @@ mod tests {
         let map = LowDegreeFeatures::new(10, 0);
         assert_eq!(map.dimension(), 1);
         assert_eq!(map.features(&BitVec::ones(10)), vec![1.0]);
+    }
+
+    #[test]
+    fn features_into_matches_features_and_reuses_the_buffer() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 13;
+        let maps: Vec<Box<dyn FeatureMap>> = vec![
+            Box::new(PlusMinusFeatures::new(n)),
+            Box::new(ArbiterPhiFeatures::new(n)),
+            Box::new(LowDegreeFeatures::new(n, 2)),
+        ];
+        let mut buf = Vec::new();
+        for map in &maps {
+            assert!(map.is_sign_valued());
+            for _ in 0..20 {
+                let x = BitVec::random(n, &mut rng);
+                map.features_into(&x, &mut buf);
+                assert_eq!(buf, map.features(&x));
+                assert_eq!(buf.len(), map.dimension());
+            }
+        }
+    }
+
+    #[test]
+    fn from_masks_round_trips() {
+        let map = LowDegreeFeatures::from_masks(6, vec![0b1, 0b101, 0b110000]);
+        assert_eq!(map.dimension(), 3);
+        assert_eq!(map.num_inputs(), 6);
+        let x = BitVec::from_u64(0b100001, 6);
+        assert_eq!(map.features(&x), vec![-1.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "references bits")]
+    fn from_masks_rejects_out_of_range_bits() {
+        LowDegreeFeatures::from_masks(4, vec![0b10000]);
     }
 }

@@ -45,6 +45,7 @@ pub mod dataset;
 pub mod distribution;
 pub mod eval;
 pub mod f2poly;
+pub mod feature_matrix;
 pub mod features;
 pub mod junta;
 pub mod km;
@@ -57,4 +58,5 @@ pub mod perceptron;
 pub use automata::Dfa;
 pub use dataset::LabeledSet;
 pub use distribution::ChallengeDistribution;
+pub use feature_matrix::FeatureMatrix;
 pub use oracle::{EquivalenceResult, ExampleOracle, FunctionOracle, MembershipOracle};

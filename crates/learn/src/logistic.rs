@@ -3,9 +3,9 @@
 //! Arbiter PUFs with exactly this model class over Φ features).
 
 use crate::dataset::LabeledSet;
+use crate::feature_matrix::FeatureMatrix;
 use crate::features::{ArbiterPhiFeatures, FeatureMap};
 use crate::perceptron::LinearModel;
-use mlam_boolean::to_pm;
 use rand::Rng;
 
 /// Hyperparameters for the logistic-regression trainer.
@@ -111,11 +111,9 @@ impl LogisticRegression {
         assert!(!data.is_empty(), "cannot train on an empty set");
         assert_eq!(map.num_inputs(), data.num_inputs(), "feature map arity");
         let d = map.dimension();
-        let feats: Vec<(Vec<f64>, f64)> = data
-            .pairs()
-            .iter()
-            .map(|(x, y)| (map.features(x), to_pm(*y)))
-            .collect();
+        // One cached feature matrix shared by every epoch, minibatch,
+        // and the final loss scan.
+        let fm = FeatureMatrix::build(&map, data);
 
         let mut w = vec![0.0f64; d];
         let mut m1 = vec![0.0f64; d];
@@ -123,7 +121,7 @@ impl LogisticRegression {
         let (b1, b2, eps) = (0.9, 0.999, 1e-8);
         let mut step = 0usize;
 
-        let mut order: Vec<usize> = (0..feats.len()).collect();
+        let mut order: Vec<usize> = (0..fm.examples()).collect();
         for _ in 0..self.config.epochs {
             // Shuffle the visit order each epoch.
             for i in (1..order.len()).rev() {
@@ -134,13 +132,11 @@ impl LogisticRegression {
                 step += 1;
                 let mut grad = vec![0.0f64; d];
                 for &idx in batch {
-                    let (f, t) = &feats[idx];
-                    let s: f64 = f.iter().zip(&w).map(|(a, b)| a * b).sum();
+                    let t = fm.label(idx);
+                    let s = fm.dot(idx, &w);
                     // d/dw ln(1+e^{-t s}) = -t f σ(-t s)
                     let sigma = 1.0 / (1.0 + (t * s).exp());
-                    for (g, fi) in grad.iter_mut().zip(f) {
-                        *g -= t * fi * sigma;
-                    }
+                    fm.grad_sub(idx, t, sigma, &mut grad);
                 }
                 let scale = 1.0 / batch.len() as f64;
                 for ((wi, g), (mi, vi)) in w
@@ -160,8 +156,9 @@ impl LogisticRegression {
 
         let mut loss = 0.0;
         let mut correct = 0usize;
-        for (f, t) in &feats {
-            let s: f64 = f.iter().zip(&w).map(|(a, b)| a * b).sum();
+        for row in 0..fm.examples() {
+            let t = fm.label(row);
+            let s = fm.dot(row, &w);
             loss += ln_1p_exp(-t * s);
             if s * t > 0.0 {
                 correct += 1;
@@ -170,8 +167,8 @@ impl LogisticRegression {
         let model = LinearModel::new(map, w);
         LogisticOutcome {
             model,
-            final_loss: loss / feats.len() as f64,
-            training_accuracy: correct as f64 / feats.len() as f64,
+            final_loss: loss / fm.examples() as f64,
+            training_accuracy: correct as f64 / fm.examples() as f64,
         }
     }
 }

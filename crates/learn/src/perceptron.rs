@@ -8,6 +8,7 @@
 //! non-separable data of Table II.
 
 use crate::dataset::LabeledSet;
+use crate::feature_matrix::FeatureMatrix;
 use crate::features::{FeatureMap, PlusMinusFeatures};
 use mlam_boolean::{BitVec, BooleanFunction};
 
@@ -142,12 +143,10 @@ impl Perceptron {
         assert!(!data.is_empty(), "cannot train on an empty set");
         assert_eq!(map.num_inputs(), data.num_inputs(), "feature map arity");
         let d = map.dimension();
-        // Precompute features once.
-        let feats: Vec<(Vec<f64>, f64)> = data
-            .pairs()
-            .iter()
-            .map(|(x, y)| (map.features(x), mlam_boolean::to_pm(*y)))
-            .collect();
+        // Compute the feature matrix once, shared by every epoch and by
+        // the pocket error scans (bit-identical to the former
+        // per-example Vec<f64> path).
+        let fm = FeatureMatrix::build(&map, data);
 
         let mut w = vec![0.0f64; d];
         let mut pocket = w.clone();
@@ -156,30 +155,19 @@ impl Perceptron {
         let mut epochs_run = 0usize;
         let mut converged = false;
 
-        let errors = |w: &[f64]| -> usize {
-            feats
-                .iter()
-                .filter(|(f, t)| {
-                    let s: f64 = f.iter().zip(w).map(|(a, b)| a * b).sum();
-                    s * t <= 0.0
-                })
-                .count()
-        };
-
         for _ in 0..self.max_epochs {
             epochs_run += 1;
             let mut epoch_mistakes = 0usize;
-            for (f, t) in &feats {
-                let s: f64 = f.iter().zip(&w).map(|(a, b)| a * b).sum();
+            for row in 0..fm.examples() {
+                let t = fm.label(row);
+                let s = fm.dot(row, &w);
                 if s * t <= 0.0 {
-                    for (wi, fi) in w.iter_mut().zip(f) {
-                        *wi += t * fi;
-                    }
+                    fm.add_signed(row, t, &mut w);
                     epoch_mistakes += 1;
                 }
             }
             mistakes += epoch_mistakes;
-            let err = errors(&w);
+            let err = fm.error_count(&w);
             if err < pocket_err {
                 pocket_err = err;
                 pocket.copy_from_slice(&w);
@@ -193,7 +181,7 @@ impl Perceptron {
         mlam_telemetry::counter!("learn.perceptron.epochs", epochs_run);
         mlam_telemetry::counter!("learn.perceptron.mistakes", mistakes);
         let model = LinearModel::new(map, pocket);
-        let training_accuracy = 1.0 - pocket_err as f64 / feats.len() as f64;
+        let training_accuracy = 1.0 - pocket_err as f64 / fm.examples() as f64;
         PerceptronOutcome {
             model,
             mistakes,

@@ -28,14 +28,41 @@ use rand::Rng;
 /// assert_eq!(phi_transform(&c), vec![-1.0, -1.0, 1.0, 1.0]);
 /// ```
 pub fn phi_transform(c: &BitVec) -> Vec<f64> {
-    let n = c.len();
-    let mut phi = vec![1.0; n + 1];
-    let mut acc = 1.0;
-    for i in (0..n).rev() {
-        acc *= if c.get(i) { -1.0 } else { 1.0 };
-        phi[i] = acc;
-    }
+    let mut phi = Vec::new();
+    phi_transform_into(c, &mut phi);
     phi
+}
+
+/// Allocation-free variant of [`phi_transform`]: writes `Φ(c)` into
+/// `out`, reusing its capacity. Scalar callers evaluating many
+/// challenges should hold one buffer and call this in a loop.
+///
+/// The suffix parities are resolved word-parallel via
+/// [`BitVec::suffix_parity_words`]; the written values are identical to
+/// [`phi_transform`].
+pub fn phi_transform_into(c: &BitVec, out: &mut Vec<f64>) {
+    let n = c.len();
+    out.clear();
+    out.resize(n + 1, 1.0);
+    let words = c.words();
+    // Word-parallel suffix-parity scan (same kernel as
+    // `BitVec::suffix_parity_words`, run in place to avoid the
+    // intermediate word buffer).
+    let mut carry = 0u64;
+    for g in (0..words.len()).rev() {
+        let mut p = words[g];
+        p ^= p >> 1;
+        p ^= p >> 2;
+        p ^= p >> 4;
+        p ^= p >> 8;
+        p ^= p >> 16;
+        p ^= p >> 32;
+        let v = p ^ carry;
+        for (b, slot) in out[g * 64..n.min((g + 1) * 64)].iter_mut().enumerate() {
+            *slot = if (v >> b) & 1 == 1 { -1.0 } else { 1.0 };
+        }
+        carry = if v & 1 == 1 { u64::MAX } else { 0 };
+    }
 }
 
 /// Inverse of [`phi_transform`]: recovers the challenge from its feature
@@ -141,6 +168,27 @@ mod tests {
         }
         for i in 6..=12 {
             assert_eq!(phi[i], phi2[i], "suffix entry {i}");
+        }
+    }
+
+    #[test]
+    fn phi_into_matches_scalar_reference() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut buf = Vec::new();
+        for len in [1usize, 7, 63, 64, 65, 130] {
+            for _ in 0..10 {
+                let c = BitVec::random(len, &mut rng);
+                // Scalar reference: right-to-left suffix product.
+                let mut reference = vec![1.0; len + 1];
+                let mut acc = 1.0;
+                for i in (0..len).rev() {
+                    acc *= if c.get(i) { -1.0 } else { 1.0 };
+                    reference[i] = acc;
+                }
+                phi_transform_into(&c, &mut buf);
+                assert_eq!(buf, reference, "len {len}");
+                assert_eq!(phi_transform(&c), reference, "len {len}");
+            }
         }
     }
 

@@ -229,6 +229,18 @@ pub fn collect_uniform<P: PufModel + Sync, R: Rng + ?Sized>(
 ) -> CrpSet {
     let n = puf.challenge_bits();
     let challenges: Vec<BitVec> = (0..count).map(|_| BitVec::random(n, rng)).collect();
+    collect_uniform_batch(puf, challenges)
+}
+
+/// Evaluates caller-supplied challenges as one [`PufModel::eval_batch`]
+/// and packages the results as a [`CrpSet`].
+///
+/// This is the entry point for callers that draw their challenges
+/// themselves (biased, correlated, or replayed sets) but still want the
+/// bit-sliced batch path the linear-delay models provide; responses are
+/// ideal (noise-free) and bit-identical at any thread count.
+pub fn collect_uniform_batch<P: PufModel + Sync>(puf: &P, challenges: Vec<BitVec>) -> CrpSet {
+    let n = puf.challenge_bits();
     let responses = puf.eval_batch(&challenges);
     CrpSet::from_crps(
         n,
@@ -395,14 +407,64 @@ mod tests {
         assert!(!set.is_empty());
     }
 
+    fn assert_batch_matches_eval<P: PufModel + Sync>(puf: &P, challenges: &[BitVec], ctx: &str) {
+        let batch = puf.eval_batch(challenges);
+        assert_eq!(batch.len(), challenges.len(), "{ctx}");
+        for (i, (c, r)) in challenges.iter().zip(&batch).enumerate() {
+            assert_eq!(puf.eval(c), *r, "{ctx}: challenge {i}");
+        }
+    }
+
     #[test]
     fn eval_batch_matches_sequential_eval() {
+        use crate::bistable_ring::{BistableRingPuf, BrPufConfig};
+        use crate::feed_forward::FeedForwardArbiterPuf;
+        use crate::interpose::InterposePuf;
+        use crate::xor_arbiter::XorArbiterPuf;
+
         let mut rng = StdRng::seed_from_u64(7);
-        let puf = ArbiterPuf::sample(24, 0.0, &mut rng);
-        let challenges: Vec<BitVec> = (0..300).map(|_| BitVec::random(24, &mut rng)).collect();
-        let batch = puf.eval_batch(&challenges);
-        for (c, r) in challenges.iter().zip(&batch) {
-            assert_eq!(puf.eval(c), *r);
+        // Batch sizes straddle the 64-lane block width (tails included),
+        // challenge lengths straddle the 64-bit word width.
+        for &(n, count) in &[
+            (24usize, 300usize),
+            (64, 64),
+            (66, 129),
+            (10, 63),
+            (33, 1),
+            (130, 70),
+        ] {
+            let ctx = format!("n={n} count={count}");
+            let challenges: Vec<BitVec> = (0..count).map(|_| BitVec::random(n, &mut rng)).collect();
+
+            let arb = ArbiterPuf::sample(n, 0.0, &mut rng);
+            assert_batch_matches_eval(&arb, &challenges, &format!("arbiter {ctx}"));
+
+            let xor = XorArbiterPuf::sample(n, 3, 0.0, &mut rng);
+            assert_batch_matches_eval(&xor, &challenges, &format!("xor {ctx}"));
+
+            let ff = FeedForwardArbiterPuf::sample_spread(n, 2, 3, 0.0, &mut rng);
+            assert_batch_matches_eval(&ff, &challenges, &format!("feed-forward {ctx}"));
+
+            let ipuf = InterposePuf::sample(n, 2, 2, 0.0, &mut rng);
+            assert_batch_matches_eval(&ipuf, &challenges, &format!("interpose {ctx}"));
+
+            // The bistable ring has no linear representation: it takes
+            // the scalar fallback, which must agree as well.
+            let br = BistableRingPuf::sample(n, BrPufConfig::calibrated(n), &mut rng);
+            assert_batch_matches_eval(&br, &challenges, &format!("bistable-ring {ctx}"));
+        }
+    }
+
+    #[test]
+    fn collect_uniform_batch_matches_scalar_eval() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let puf = ArbiterPuf::sample(66, 0.0, &mut rng);
+        let challenges: Vec<BitVec> = (0..150).map(|_| BitVec::random(66, &mut rng)).collect();
+        let set = collect_uniform_batch(&puf, challenges.clone());
+        assert_eq!(set.len(), 150);
+        for ((c, r), orig) in set.iter().zip(&challenges) {
+            assert_eq!(c, orig, "challenge order must be preserved");
+            assert_eq!(puf.eval(c), r);
         }
     }
 

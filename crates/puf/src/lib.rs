@@ -40,6 +40,7 @@
 pub mod arbiter;
 pub mod arff;
 pub mod bistable_ring;
+pub mod bitslice;
 pub mod challenge;
 pub mod correlated;
 pub mod crp;
@@ -52,7 +53,7 @@ pub mod xor_arbiter;
 
 pub use arbiter::ArbiterPuf;
 pub use bistable_ring::{BistableRingPuf, BrPufConfig};
-pub use challenge::phi_transform;
+pub use challenge::{phi_transform, phi_transform_into};
 pub use correlated::CorrelatedXorArbiterPuf;
 pub use crp::{Crp, CrpSet};
 pub use feed_forward::FeedForwardArbiterPuf;
@@ -88,12 +89,15 @@ pub trait PufModel: BooleanFunction {
     ///
     /// Each evaluation is a pure function of the challenge, so the
     /// result equals mapping [`BooleanFunction::eval`] sequentially —
-    /// bit-identical at any thread count.
+    /// bit-identical at any thread count. Linear-delay models override
+    /// this with the bit-sliced kernels of [`bitslice`] (same
+    /// responses, ~an order of magnitude faster); the default is the
+    /// counted scalar fallback used by non-linear simulators.
     fn eval_batch(&self, challenges: &[BitVec]) -> Vec<bool>
     where
         Self: Sized + Sync,
     {
-        mlam_par::par_map(challenges, |c| self.eval(c))
+        bitslice::scalar_eval_batch(self, challenges)
     }
 }
 

@@ -5,6 +5,7 @@
 //! mlam-trace profile <run-dir>
 //! mlam-trace compare <baseline-dir> <current-dir>
 //!                    [--threshold 0.2] [--min-wall-ms 100] [--warn-only]
+//!                    [--ignore-counter <prefix>]...
 //! mlam-trace bench   <run-dir> [-o BENCH.json]
 //! ```
 //!
@@ -34,10 +35,15 @@ USAGE:
 
     mlam-trace compare <baseline-dir> <current-dir>
                [--threshold <ratio>] [--min-wall-ms <ms>] [--warn-only]
+               [--ignore-counter <prefix>]...
         Diff two runs. Correctness counters must be bit-identical
         (exit 2 on drift, never suppressed); wall-clock regressions
         beyond the threshold (default 0.2 = +20%, noise floor
         --min-wall-ms, default 100) exit 1 unless --warn-only.
+        --ignore-counter (repeatable) excludes counters whose name
+        starts with the prefix from the drift check — for deliberate
+        A/B runs whose path-attribution counters differ by design
+        (e.g. puf.batch. between the scalar and bit-sliced CRP paths).
 
     mlam-trace bench   <run-dir> [-o <BENCH.json>]
         Emit the perf-trajectory record: per experiment
@@ -78,6 +84,7 @@ struct Parsed {
     threshold: f64,
     min_wall_ms: u64,
     warn_only: bool,
+    ignore_counters: Vec<String>,
 }
 
 fn parse(args: &[String], allow_compare_flags: bool) -> Result<Parsed, String> {
@@ -87,6 +94,7 @@ fn parse(args: &[String], allow_compare_flags: bool) -> Result<Parsed, String> {
         threshold: 0.20,
         min_wall_ms: 100,
         warn_only: false,
+        ignore_counters: Vec::new(),
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -108,6 +116,10 @@ fn parse(args: &[String], allow_compare_flags: bool) -> Result<Parsed, String> {
                     .map_err(|e| format!("bad --min-wall-ms '{value}': {e}"))?;
             }
             "--warn-only" if allow_compare_flags => parsed.warn_only = true,
+            "--ignore-counter" if allow_compare_flags => {
+                let value = iter.next().ok_or("missing value for --ignore-counter")?;
+                parsed.ignore_counters.push(value.clone());
+            }
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag '{other}'"));
             }
@@ -194,6 +206,7 @@ fn cmd_compare(args: &[String]) -> i32 {
     let options = compare::CompareOptions {
         threshold: parsed.threshold,
         min_wall_s: parsed.min_wall_ms as f64 / 1000.0,
+        ignore_counters: parsed.ignore_counters,
     };
     let mut report = compare::compare(base_manifest, cur_manifest, &options);
     report.span_notes = compare::span_movers(&baseline.histograms, &current.histograms, &options);

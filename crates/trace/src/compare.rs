@@ -13,13 +13,19 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 
 /// Tunables for [`compare`].
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CompareOptions {
     /// Relative wall-clock regression threshold (0.2 = +20%).
     pub threshold: f64,
     /// Absolute wall-clock noise floor in seconds: smaller deltas are
     /// never flagged, whatever the ratio.
     pub min_wall_s: f64,
+    /// Counter-name prefixes excluded from the drift check. For
+    /// deliberate A/B comparisons across implementation paths (e.g. the
+    /// bit-sliced vs scalar CRP evaluator), the path-attribution
+    /// counters (`puf.batch.`) differ by construction while every
+    /// behavior counter must still match bit for bit.
+    pub ignore_counters: Vec<String>,
 }
 
 impl Default for CompareOptions {
@@ -27,7 +33,14 @@ impl Default for CompareOptions {
         CompareOptions {
             threshold: 0.20,
             min_wall_s: 0.1,
+            ignore_counters: Vec::new(),
         }
+    }
+}
+
+impl CompareOptions {
+    fn is_ignored(&self, counter: &str) -> bool {
+        self.ignore_counters.iter().any(|p| counter.starts_with(p))
     }
 }
 
@@ -188,6 +201,9 @@ pub fn compare(
             .chain(cur_exp.counters.keys())
             .collect();
         for key in keys {
+            if opts.is_ignored(key) {
+                continue;
+            }
             let b = base_exp.counters.get(key).copied().unwrap_or(0);
             let c = cur_exp.counters.get(key).copied().unwrap_or(0);
             if b != c {
@@ -310,6 +326,46 @@ mod tests {
         let c = manifest(7, &[("table1", 1.0, &[])]);
         assert!(compare(&a, &c, &CompareOptions::default()).has_counter_drift());
         assert!(compare(&c, &a, &CompareOptions::default()).has_counter_drift());
+    }
+
+    #[test]
+    fn ignored_counter_prefixes_are_excluded_from_drift() {
+        let a = manifest(
+            7,
+            &[(
+                "collect",
+                1.0,
+                &[
+                    ("puf.batch.bitsliced_evals", 4096),
+                    ("bench.crp.response_ones", 2011),
+                ],
+            )],
+        );
+        let b = manifest(
+            7,
+            &[(
+                "collect",
+                1.0,
+                &[
+                    ("puf.batch.scalar_evals", 4096),
+                    ("bench.crp.response_ones", 2011),
+                ],
+            )],
+        );
+        // Without the ignore list, the path counters drift.
+        assert!(compare(&a, &b, &CompareOptions::default()).has_counter_drift());
+        // With it, only the behavior counters are compared — clean.
+        let opts = CompareOptions {
+            ignore_counters: vec!["puf.batch.".to_string()],
+            ..Default::default()
+        };
+        assert!(!compare(&a, &b, &opts).has_counter_drift());
+        // A behavior-counter drift still fails with the ignore list on.
+        let c = manifest(7, &[("collect", 1.0, &[("bench.crp.response_ones", 2012)])]);
+        let report = compare(&a, &c, &opts);
+        assert!(report.has_counter_drift());
+        assert_eq!(report.drift.len(), 1);
+        assert_eq!(report.drift[0].counter, "bench.crp.response_ones");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! reproduction entry point referenced by EXPERIMENTS.md.
 //!
 //! Usage: `cargo run --release -p mlam-bench --bin repro_all
-//! [--quick] [--json <dir>] [--force]`
+//! [--quick] [--json <dir>] [--force] [--resume <dir>]`
 //!
 //! Experiments are fanned out across `MLAM_THREADS` worker threads
 //! (default: available parallelism; `1` runs inline). Results are
@@ -16,8 +16,17 @@
 //! that already holds a `manifest.json` is refused unless `--force`
 //! is given.
 //!
-//! Exits non-zero when any experiment driver fails; the remaining
-//! experiments still run and their results are still written.
+//! Exits non-zero when any experiment driver fails. The remaining
+//! experiments still run; the failed ones are recorded as partial
+//! results marked `degraded: true` in the manifest and their
+//! checkpoint file.
+//!
+//! With `--resume <dir>`, continues an interrupted `--json <dir>` run:
+//! experiments with complete checkpoints for the same seed and
+//! `--quick` flag are skipped (their tables are not reprinted; a note
+//! goes to stderr), everything else — missing, corrupt, or degraded —
+//! re-runs from its original per-experiment seed, so the final run
+//! directory is bit-identical to an uninterrupted run. See HARNESS.md.
 
 use mlam_bench::{parse_cli, run_all, Session};
 

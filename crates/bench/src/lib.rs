@@ -7,16 +7,26 @@
 //! printed before telemetry existed still goes to stdout unchanged;
 //! the session only *adds* files under `--json <dir>` and stderr lines
 //! under `MLAM_LOG`.
+//!
+//! Fault tolerance: a batch run checkpoints every finished experiment
+//! into its run directory ([`CheckpointStore`]), failed experiments
+//! degrade to partial records (`degraded: true`) instead of sinking
+//! the run, and `--resume <dir>` continues an interrupted run by
+//! skipping every complete checkpoint — bit-identical to the run the
+//! kill interrupted, because each experiment is a pure function of
+//! `(seed, quick, index)`. See `HARNESS.md` for the full story.
 
+use mlam::experiments::checkpoint::CheckpointState;
 use mlam::report::Table;
 use mlam::telemetry::{self, ExperimentRecord, RunManifest};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::panic::AssertUnwindSafe;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
+
+pub use mlam::experiments::checkpoint::{CheckpointStore, ExperimentJson, TableJson};
 
 /// The fixed root seed every reproduction binary uses.
 pub const REPRO_SEED: u64 = 0xDA7E_2020;
@@ -26,6 +36,7 @@ const WORKSPACE_CRATES: &[&str] = &[
     "mlam",
     "mlam-bench",
     "mlam-boolean",
+    "mlam-harness",
     "mlam-learn",
     "mlam-locking",
     "mlam-netlist",
@@ -45,15 +56,20 @@ pub struct CliOptions {
     /// Allow `--json` to overwrite a directory that already holds a
     /// completed run (a `manifest.json`).
     pub force: bool,
+    /// Continue an interrupted run: write into this existing run
+    /// directory, skipping every experiment whose checkpoint is
+    /// complete and re-running corrupt, degraded or missing ones.
+    pub resume: Option<PathBuf>,
 }
 
-/// Parses `--quick`, `--json <dir>` and `--force` from an argument
-/// iterator (unrecognized arguments are ignored, as the binaries
-/// always did).
+/// Parses `--quick`, `--json <dir>`, `--force` and `--resume <dir>`
+/// from an argument iterator (unrecognized arguments are ignored, as
+/// the binaries always did).
 ///
 /// # Panics
 ///
-/// Panics if `--json` is not followed by a directory path.
+/// Panics if `--json` or `--resume` is not followed by a directory
+/// path.
 pub fn parse_cli<I: IntoIterator<Item = String>>(args: I) -> CliOptions {
     let mut options = CliOptions::default();
     let mut iter = args.into_iter();
@@ -65,43 +81,14 @@ pub fn parse_cli<I: IntoIterator<Item = String>>(args: I) -> CliOptions {
                 options.json_dir = Some(PathBuf::from(dir));
             }
             "--force" => options.force = true,
+            "--resume" => {
+                let dir = iter.next().expect("--resume requires a directory argument");
+                options.resume = Some(PathBuf::from(dir));
+            }
             _ => {}
         }
     }
     options
-}
-
-/// One table of an experiment, in the machine-readable `--json` form.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-pub struct TableJson {
-    pub title: String,
-    pub header: Vec<String>,
-    /// Rows as objects keyed by column header
-    /// ([`Table::to_json_rows`]).
-    pub rows: serde_json::Value,
-}
-
-impl TableJson {
-    fn from_table(table: &Table) -> TableJson {
-        TableJson {
-            title: table.title().to_string(),
-            header: table.header().to_vec(),
-            rows: table.to_json_rows(),
-        }
-    }
-}
-
-/// The structured result file written as `<dir>/<experiment>.json`.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-pub struct ExperimentJson {
-    pub name: String,
-    pub seed: u64,
-    pub quick: bool,
-    /// Wall-clock seconds spent in the driver.
-    pub seconds: f64,
-    /// Telemetry counter increments attributable to this experiment.
-    pub counters: BTreeMap<String, u64>,
-    pub tables: Vec<TableJson>,
 }
 
 /// A reproduction run in progress: wraps every experiment driver call
@@ -110,6 +97,8 @@ pub struct ExperimentJson {
 pub struct Session {
     manifest: RunManifest,
     run_dir: Option<telemetry::RunDir>,
+    store: Option<CheckpointStore>,
+    resuming: bool,
     started: Instant,
 }
 
@@ -120,10 +109,16 @@ impl Session {
     /// `--force`) and installs a [`telemetry::JsonlSink`] for span
     /// events at `events.jsonl`.
     ///
+    /// With `--resume <dir>`, the existing run directory is reopened
+    /// instead (events append rather than truncate) and
+    /// [`Session::run_batch`] skips every experiment whose checkpoint
+    /// is complete and valid for this `(seed, quick)` configuration.
+    ///
     /// # Panics
     ///
-    /// Panics if the JSON output directory cannot be claimed; the
-    /// message names the offending path.
+    /// Panics if the JSON output directory cannot be claimed (the
+    /// message names the offending path), or if `--json` and
+    /// `--resume` point at different directories.
     pub fn start(tool: &str, options: &CliOptions) -> Session {
         // Wire telemetry's thread-local context (counter scopes, span
         // parents) into the parallel runtime before any fan-out runs.
@@ -136,18 +131,40 @@ impl Session {
                 .crate_versions
                 .push((name.to_string(), version.to_string()));
         }
-        let run_dir = options.json_dir.as_ref().map(|dir| {
-            let run_dir =
-                telemetry::RunDir::create(dir, options.force).unwrap_or_else(|e| panic!("{e}"));
+        if let (Some(resume), Some(json)) = (&options.resume, &options.json_dir) {
+            assert!(
+                resume == json,
+                "--resume {} and --json {} point at different directories; \
+                 --resume already selects the output directory",
+                resume.display(),
+                json.display()
+            );
+        }
+        let resuming = options.resume.is_some();
+        let output_dir = options.resume.as_ref().or(options.json_dir.as_ref());
+        let run_dir = output_dir.map(|dir| {
+            let run_dir = if resuming {
+                telemetry::RunDir::resume(dir)
+            } else {
+                telemetry::RunDir::create(dir, options.force)
+            }
+            .unwrap_or_else(|e| panic!("{e}"));
             let events = run_dir.file("events.jsonl");
-            let sink = telemetry::JsonlSink::create(&events)
-                .unwrap_or_else(|e| panic!("cannot open {}: {e}", events.display()));
+            let sink = if resuming {
+                telemetry::JsonlSink::append(&events)
+            } else {
+                telemetry::JsonlSink::create(&events)
+            }
+            .unwrap_or_else(|e| panic!("cannot open {}: {e}", events.display()));
             telemetry::add_sink(Box::new(sink));
             run_dir
         });
+        let store = run_dir.as_ref().map(|dir| CheckpointStore::new(dir.path()));
         Session {
             manifest,
             run_dir,
+            store,
+            resuming,
             started: Instant::now(),
         }
     }
@@ -189,17 +206,19 @@ impl Session {
             name: name.to_string(),
             seconds,
             counters: counters.clone(),
+            degraded: false,
         });
-        if let Some(dir) = &self.run_dir {
+        if let Some(store) = &self.store {
             let record = ExperimentJson {
                 name: name.to_string(),
                 seed: self.manifest.seed,
                 quick: self.manifest.quick,
                 seconds,
+                degraded: false,
                 counters,
                 tables: render(&value).iter().map(TableJson::from_table).collect(),
             };
-            write_json(&dir.file(&format!("{name}.json")), &record);
+            store.save(&record).unwrap_or_else(|e| panic!("{e}"));
         }
         value
     }
@@ -214,48 +233,130 @@ impl Session {
     /// `split_seed(session seed, index)` and its own counter scope, so
     /// neither randomness nor attribution couples experiments to their
     /// schedule. A panicking driver does not abort the batch: the
-    /// experiment is still recorded (wall-clock and counters), no
-    /// result file is written for it, and the failure is returned so
-    /// the caller can exit non-zero.
+    /// experiment degrades to a partial record (`degraded: true`,
+    /// wall-clock and counters up to the failure, no tables) in both
+    /// the manifest and its checkpoint file, and the failure is
+    /// returned so the caller can exit non-zero.
+    ///
+    /// When the session was started with `--resume`, experiments whose
+    /// checkpoint is complete and matches this `(seed, quick)`
+    /// configuration are **skipped**: their recorded counters and
+    /// wall-clock are restored into the manifest (and replayed into
+    /// the global metric registry, so `metrics.jsonl` matches a
+    /// straight-through run), a note goes to stderr, and their tables
+    /// are *not* reprinted to stdout. Missing, corrupt (killed
+    /// mid-write), stale (other seed/quick) and degraded checkpoints
+    /// are re-run from their original `split_seed(seed, index)`
+    /// stream, which reproduces the interrupted run bit-for-bit.
     pub fn run_batch(&mut self, specs: Vec<ExperimentSpec>) -> Vec<ExperimentFailure> {
         telemetry::install_parallel_propagation();
         let root = self.seed();
-        let tasks: Vec<Box<dyn FnOnce() -> BatchOutcome + Send>> = specs
-            .into_iter()
-            .enumerate()
-            .map(|(index, spec)| {
-                Box::new(move || run_spec(spec, root, index))
-                    as Box<dyn FnOnce() -> BatchOutcome + Send>
-            })
-            .collect();
+        let quick = self.quick();
+        // Spec order must survive the skip/run split: each slot is
+        // either a restored checkpoint or an index into the task list
+        // handed to the pool, and results are drained back in order.
+        enum Slot {
+            Restored(ExperimentJson),
+            Fresh,
+        }
+        let mut slots = Vec::new();
+        let mut tasks: Vec<Box<dyn FnOnce() -> BatchOutcome + Send>> = Vec::new();
+        for (index, spec) in specs.into_iter().enumerate() {
+            let checkpoint = self
+                .resuming
+                .then_some(self.store.as_ref())
+                .flatten()
+                .map(|store| store.load(spec.name()));
+            match checkpoint {
+                Some(CheckpointState::Complete(record)) if record.resumable(root, quick) => {
+                    eprintln!(
+                        "mlam: resume: skipping {} (checkpoint complete)",
+                        spec.name()
+                    );
+                    slots.push(Slot::Restored(record));
+                    continue;
+                }
+                Some(CheckpointState::Complete(record)) => {
+                    telemetry::counter!("harness.checkpoint.stale", 1);
+                    eprintln!(
+                        "mlam: resume: re-running {} ({})",
+                        spec.name(),
+                        if record.degraded {
+                            "checkpoint degraded".to_string()
+                        } else {
+                            format!(
+                                "checkpoint from seed {:#x} quick={}, run wants seed {root:#x} quick={quick}",
+                                record.seed, record.quick
+                            )
+                        }
+                    );
+                }
+                Some(CheckpointState::Corrupt) => {
+                    eprintln!(
+                        "mlam: resume: re-running {} (checkpoint corrupt — killed mid-write?)",
+                        spec.name()
+                    );
+                }
+                Some(CheckpointState::Missing) | None => {}
+            }
+            slots.push(Slot::Fresh);
+            tasks.push(Box::new(move || run_spec(spec, root, index))
+                as Box<dyn FnOnce() -> BatchOutcome + Send>);
+        }
+        let mut fresh = mlam_par::par_run(tasks).into_iter();
         let mut failures = Vec::new();
-        for outcome in mlam_par::par_run(tasks) {
-            self.manifest.experiments.push(ExperimentRecord {
-                name: outcome.name.to_string(),
-                seconds: outcome.seconds,
-                counters: outcome.counters.clone(),
-            });
-            match outcome.result {
-                Ok(tables) => {
-                    if let Some(dir) = &self.run_dir {
+        for slot in slots {
+            match slot {
+                Slot::Restored(record) => {
+                    // Re-apply the restored counters to the global
+                    // registry: final_metrics and metrics.jsonl then
+                    // match what a straight-through run would report.
+                    for (name, delta) in &record.counters {
+                        telemetry::counter_handle(name).add(*delta);
+                    }
+                    self.manifest.experiments.push(ExperimentRecord {
+                        name: record.name.clone(),
+                        seconds: record.seconds,
+                        counters: record.counters.clone(),
+                        degraded: false,
+                    });
+                }
+                Slot::Fresh => {
+                    let outcome = fresh.next().expect("one outcome per fresh slot");
+                    let degraded = outcome.result.is_err();
+                    self.manifest.experiments.push(ExperimentRecord {
+                        name: outcome.name.to_string(),
+                        seconds: outcome.seconds,
+                        counters: outcome.counters.clone(),
+                        degraded,
+                    });
+                    let tables = match outcome.result {
+                        Ok(tables) => tables,
+                        Err(message) => {
+                            telemetry::counter!("harness.checkpoint.degraded", 1);
+                            failures.push(ExperimentFailure {
+                                name: outcome.name.to_string(),
+                                message,
+                            });
+                            Vec::new()
+                        }
+                    };
+                    if let Some(store) = &self.store {
                         let record = ExperimentJson {
                             name: outcome.name.to_string(),
-                            seed: self.manifest.seed,
-                            quick: self.manifest.quick,
+                            seed: root,
+                            quick,
                             seconds: outcome.seconds,
+                            degraded,
                             counters: outcome.counters,
                             tables: tables.iter().map(TableJson::from_table).collect(),
                         };
-                        write_json(&dir.file(&format!("{}.json", outcome.name)), &record);
+                        store.save(&record).unwrap_or_else(|e| panic!("{e}"));
                     }
                     for table in &tables {
                         println!("{table}");
                     }
                 }
-                Err(message) => failures.push(ExperimentFailure {
-                    name: outcome.name.to_string(),
-                    message,
-                }),
             }
         }
         failures
@@ -519,6 +620,7 @@ mod tests {
             quick: true,
             json_dir: Some(dir.clone()),
             force: false,
+            resume: None,
         };
         let result = std::panic::catch_unwind(|| Session::start("test-tool", &options));
         assert!(result.is_err(), "Session::start must refuse to clobber");
@@ -536,6 +638,123 @@ mod tests {
     #[should_panic(expected = "--json requires a directory")]
     fn cli_rejects_dangling_json_flag() {
         parse_cli(["bin", "--json"].map(String::from));
+    }
+
+    #[test]
+    fn cli_parses_resume() {
+        let opts = parse_cli(["bin", "--resume", "out/run", "--quick"].map(String::from));
+        assert_eq!(opts.resume.as_deref(), Some(Path::new("out/run")));
+        assert!(opts.quick);
+    }
+
+    #[test]
+    #[should_panic(expected = "--resume requires a directory")]
+    fn cli_rejects_dangling_resume_flag() {
+        parse_cli(["bin", "--resume"].map(String::from));
+    }
+
+    #[test]
+    fn resumed_batch_skips_complete_checkpoints_and_reruns_the_rest() {
+        let dir = std::env::temp_dir().join(format!("mlam_session_resume_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let options = CliOptions {
+            quick: true,
+            json_dir: Some(dir.clone()),
+            force: false,
+            resume: None,
+        };
+
+        let specs = || {
+            vec![
+                ExperimentSpec::new("resume_a", |rng| {
+                    use rand::Rng;
+                    mlam::telemetry::counter!("bench.test.resume_a", 5);
+                    let roll: u64 = rng.gen();
+                    vec![Table::new(format!("A {roll}"), &["v"])]
+                }),
+                ExperimentSpec::new("resume_b", |rng| {
+                    use rand::Rng;
+                    mlam::telemetry::counter!("bench.test.resume_b", 7);
+                    let roll: u64 = rng.gen();
+                    vec![Table::new(format!("B {roll}"), &["v"])]
+                }),
+            ]
+        };
+
+        let mut first = Session::start("test-resume", &options);
+        assert!(first.run_batch(specs()).is_empty());
+        let full = first.finish();
+
+        // Simulate a kill after resume_a: resume_b's checkpoint and the
+        // manifest are gone, resume_a's survives.
+        std::fs::remove_file(dir.join("resume_b.json")).unwrap();
+        std::fs::remove_file(dir.join("manifest.json")).unwrap();
+
+        let resumed_options = CliOptions {
+            quick: true,
+            json_dir: None,
+            force: false,
+            resume: Some(dir.clone()),
+        };
+        let mut second = Session::start("test-resume", &resumed_options);
+        assert!(second.run_batch(specs()).is_empty());
+        let resumed = second.finish();
+
+        // Identical per-experiment records: restored for a, re-run
+        // from the same split seed for b (seconds for a is restored
+        // verbatim from the checkpoint).
+        assert_eq!(resumed.experiments.len(), full.experiments.len());
+        for (fresh, back) in full.experiments.iter().zip(&resumed.experiments) {
+            assert_eq!(fresh.name, back.name);
+            assert_eq!(fresh.counters, back.counters);
+            assert!(!back.degraded);
+        }
+        // The re-run rewrote resume_b.json bit-identically.
+        let full_b: ExperimentJson =
+            serde_json::from_str(&std::fs::read_to_string(dir.join("resume_b.json")).unwrap())
+                .unwrap();
+        assert_eq!(full_b.name, "resume_b");
+        assert_eq!(full_b.counters["bench.test.resume_b"], 7);
+        assert!(dir.join("manifest.json").is_file());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_batch_experiments_degrade_to_partial_records() {
+        let dir = std::env::temp_dir().join(format!("mlam_session_degrade_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let options = CliOptions {
+            quick: true,
+            json_dir: Some(dir.clone()),
+            force: false,
+            resume: None,
+        };
+        let mut session = Session::start("test-degrade", &options);
+        let failures = session.run_batch(vec![
+            ExperimentSpec::new("degrade_ok", |_| vec![]),
+            ExperimentSpec::new("degrade_boom", |_| {
+                mlam::telemetry::counter!("bench.test.degrade_partial", 2);
+                panic!("injected failure")
+            }),
+        ]);
+        let manifest = session.finish();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].name, "degrade_boom");
+        assert!(failures[0].message.contains("injected failure"));
+        // The manifest keeps the partial record, marked degraded, with
+        // the counters incremented before the panic.
+        let boom = &manifest.experiments[1];
+        assert!(boom.degraded);
+        assert_eq!(boom.counters["bench.test.degrade_partial"], 2);
+        assert!(!manifest.experiments[0].degraded);
+        // The checkpoint mirrors it, and is not resumable.
+        let record: ExperimentJson =
+            serde_json::from_str(&std::fs::read_to_string(dir.join("degrade_boom.json")).unwrap())
+                .unwrap();
+        assert!(record.degraded);
+        assert!(record.tables.is_empty());
+        assert!(!record.resumable(manifest.seed, true));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

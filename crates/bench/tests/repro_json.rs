@@ -29,6 +29,7 @@ fn run_once(dir: &Path) -> RunManifest {
         quick: true,
         json_dir: Some(dir.to_path_buf()),
         force: false,
+        resume: None,
     };
     let mut session = Session::start("repro_all", &options);
     let failures = run_all(&mut session);

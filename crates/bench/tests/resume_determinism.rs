@@ -1,0 +1,134 @@
+//! Kill-and-resume contract of `repro_all --resume <dir>`: a run
+//! directory truncated mid-run (final manifest never written, some
+//! checkpoints missing, one killed mid-write) resumes to results
+//! bit-identical to an uninterrupted run — even at a different
+//! `MLAM_THREADS` setting, since every experiment re-runs from its
+//! original `split_seed(seed, index)` stream.
+
+use mlam::telemetry::RunManifest;
+use mlam_bench::{run_all, CliOptions, ExperimentJson, Session};
+use std::path::Path;
+
+/// Runs the full `--quick --json <dir>` batch at a forced thread count.
+fn run_full(dir: &Path, threads: &str) -> RunManifest {
+    std::env::set_var("MLAM_THREADS", threads);
+    let options = CliOptions {
+        quick: true,
+        json_dir: Some(dir.to_path_buf()),
+        force: false,
+        resume: None,
+    };
+    let mut session = Session::start("repro_all", &options);
+    let failures = run_all(&mut session);
+    assert!(failures.is_empty(), "experiment failures: {failures:?}");
+    session.finish()
+}
+
+/// Resumes an interrupted run directory at a forced thread count.
+fn run_resume(dir: &Path, threads: &str) -> RunManifest {
+    std::env::set_var("MLAM_THREADS", threads);
+    let options = CliOptions {
+        quick: true,
+        json_dir: None,
+        force: false,
+        resume: Some(dir.to_path_buf()),
+    };
+    let mut session = Session::start("repro_all", &options);
+    let failures = run_all(&mut session);
+    assert!(failures.is_empty(), "experiment failures: {failures:?}");
+    session.finish()
+}
+
+fn read_experiment(dir: &Path, name: &str) -> ExperimentJson {
+    let path = dir.join(format!("{name}.json"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing {}: {e}", path.display()));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("bad JSON in {}: {e}", path.display()))
+}
+
+#[test]
+fn truncated_run_resumes_bit_identically() {
+    let base = std::env::temp_dir().join(format!("mlam_resume_det_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let reference = base.join("reference");
+    let interrupted = base.join("interrupted");
+
+    let reference_manifest = run_full(&reference, "1");
+    let _ = run_full(&interrupted, "1");
+
+    // Simulate a mid-run kill: the final manifest and metrics were
+    // never written, three experiments never checkpointed, and one
+    // checkpoint was truncated mid-write.
+    std::fs::remove_file(interrupted.join("manifest.json")).unwrap();
+    std::fs::remove_file(interrupted.join("metrics.jsonl")).unwrap();
+    for never_ran in ["table1", "spectral", "interpose"] {
+        std::fs::remove_file(interrupted.join(format!("{never_ran}.json"))).unwrap();
+    }
+    let killed = interrupted.join("lockdown.json");
+    let text = std::fs::read_to_string(&killed).unwrap();
+    std::fs::write(&killed, &text[..text.len() / 2]).unwrap();
+
+    // Resume at a different thread count: split-seeded streams make
+    // the re-runs independent of scheduling.
+    let resumed_manifest = run_resume(&interrupted, "4");
+    std::env::remove_var("MLAM_THREADS");
+
+    // The manifest's experiment records match the uninterrupted run
+    // exactly, modulo wall-clock.
+    assert_eq!(
+        reference_manifest.experiments.len(),
+        resumed_manifest.experiments.len()
+    );
+    for (reference_exp, resumed_exp) in reference_manifest
+        .experiments
+        .iter()
+        .zip(&resumed_manifest.experiments)
+    {
+        assert_eq!(reference_exp.name, resumed_exp.name);
+        assert!(!resumed_exp.degraded);
+        assert_eq!(
+            reference_exp.counters, resumed_exp.counters,
+            "experiment {} drifted across kill-and-resume",
+            reference_exp.name
+        );
+    }
+
+    // The on-disk per-experiment records are bit-identical modulo
+    // wall-clock: same seed, same parameter set, same counters, same
+    // rendered tables.
+    for exp in &reference_manifest.experiments {
+        let reference_json = read_experiment(&reference, &exp.name);
+        let resumed_json = read_experiment(&interrupted, &exp.name);
+        assert_eq!(reference_json.name, resumed_json.name);
+        assert_eq!(reference_json.seed, resumed_json.seed);
+        assert_eq!(reference_json.quick, resumed_json.quick);
+        assert!(!resumed_json.degraded);
+        assert_eq!(reference_json.counters, resumed_json.counters);
+        assert_eq!(
+            reference_json.tables, resumed_json.tables,
+            "tables of {} drifted across kill-and-resume",
+            exp.name
+        );
+    }
+
+    // The resumed directory is a complete run again: manifest.json
+    // round-trips and mlam-trace compare sees zero counter drift
+    // against the reference (generous wall threshold — timing is the
+    // one thing resume does not reproduce).
+    let text = std::fs::read_to_string(interrupted.join("manifest.json")).unwrap();
+    let parsed: RunManifest = serde_json::from_str(&text).unwrap();
+    assert_eq!(parsed, resumed_manifest);
+    let options = mlam_trace::compare::CompareOptions {
+        threshold: 10.0,
+        min_wall_s: 10.0,
+        ..Default::default()
+    };
+    let report = mlam_trace::compare::compare(&reference_manifest, &resumed_manifest, &options);
+    assert!(
+        !report.has_counter_drift(),
+        "kill-and-resume must not drift:\n{}",
+        report.render()
+    );
+
+    let _ = std::fs::remove_dir_all(&base);
+}

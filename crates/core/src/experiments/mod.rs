@@ -8,8 +8,10 @@
 
 pub mod ablations;
 pub mod ac0;
+pub mod checkpoint;
 pub mod corollary2;
 pub mod exact_vs_approx;
+pub mod fault_sweep;
 pub mod interpose;
 pub mod lockdown;
 pub mod locking;
@@ -20,6 +22,8 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 
+pub use checkpoint::{CheckpointState, CheckpointStore, ExperimentJson, TableJson};
+pub use fault_sweep::{run_fault_sweep, FaultSweepParams, FaultSweepResult, FaultSweepRow};
 pub use table1::{run_table1, Table1Params, Table1Result};
 pub use table2::{run_table2, Table2Params, Table2Result};
 pub use table3::{run_table3, Table3Params, Table3Result};

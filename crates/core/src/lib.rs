@@ -46,6 +46,8 @@
 //! assert!(!verdict.is_comparable());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod adversary;
 pub mod attack;
 pub mod bounds;

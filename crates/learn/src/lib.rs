@@ -59,4 +59,6 @@ pub use automata::Dfa;
 pub use dataset::LabeledSet;
 pub use distribution::ChallengeDistribution;
 pub use feature_matrix::FeatureMatrix;
-pub use oracle::{EquivalenceResult, ExampleOracle, FunctionOracle, MembershipOracle};
+pub use oracle::{
+    EquivalenceResult, ExampleOracle, FunctionOracle, MembershipOracle, UnreliableOracle,
+};

@@ -29,6 +29,8 @@
 //! assert!(result.key_is_functionally_correct);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod anti_sat;
 pub mod appsat;
 pub mod combinational;

@@ -49,6 +49,16 @@ fn range(len: usize, t: usize, w: usize) -> (usize, usize) {
 /// Maps `f` over `items` in parallel, returning results in input
 /// order. `f` must be pure per element for the determinism contract to
 /// hold (and there is then nothing scheduling can change).
+///
+/// # Example
+///
+/// ```
+/// use mlam_par::par_map;
+///
+/// let squares = par_map(&[1u64, 2, 3, 4], |&x| x * x);
+/// // Input order survives the fan-out, whatever MLAM_THREADS is.
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
 pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
 where
     T: Sync,

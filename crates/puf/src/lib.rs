@@ -49,6 +49,7 @@ pub mod interpose;
 pub mod lockdown;
 pub mod metrics;
 pub mod noise;
+pub mod unreliable;
 pub mod xor_arbiter;
 
 pub use arbiter::ArbiterPuf;
@@ -59,6 +60,7 @@ pub use crp::{Crp, CrpSet};
 pub use feed_forward::FeedForwardArbiterPuf;
 pub use interpose::InterposePuf;
 pub use lockdown::LockdownPuf;
+pub use unreliable::UnreliablePuf;
 pub use xor_arbiter::XorArbiterPuf;
 
 use mlam_boolean::{BitVec, BooleanFunction};

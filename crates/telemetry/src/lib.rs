@@ -22,6 +22,8 @@
 //!   `repro_all --json`, recording seed, parameters, crate versions,
 //!   and per-experiment wall-clock plus counter deltas.
 
+#![warn(missing_docs)]
+
 pub mod manifest;
 pub mod metrics;
 pub mod propagate;

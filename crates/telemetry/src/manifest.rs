@@ -8,22 +8,31 @@ use std::collections::BTreeMap;
 /// Bumped when the manifest layout changes incompatibly.
 ///
 /// v2: added the `threads` field (worker threads used for the run).
-pub const MANIFEST_SCHEMA_VERSION: u32 = 2;
+/// v3: added the per-experiment `degraded` flag (experiment failed and
+/// was recorded as a partial result instead of aborting the run).
+pub const MANIFEST_SCHEMA_VERSION: u32 = 3;
 
 /// Wall-clock and query accounting for one experiment in a run.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentRecord {
+    /// The experiment's name (its `--json` file is `<name>.json`).
     pub name: String,
     /// Wall-clock seconds spent inside the experiment driver.
     pub seconds: f64,
     /// Counter increments attributable to this experiment (snapshot
     /// delta around the driver call); zero-delta counters are omitted.
     pub counters: BTreeMap<String, u64>,
+    /// The experiment failed and this record holds a partial result
+    /// (wall-clock and counters up to the failure, no tables). Absent
+    /// in pre-v3 manifests, which defaults to `false`.
+    #[serde(default)]
+    pub degraded: bool,
 }
 
 /// Everything needed to identify and compare reproduction runs.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RunManifest {
+    /// [`MANIFEST_SCHEMA_VERSION`] at the time the run was written.
     pub schema_version: u32,
     /// The binary that produced the run (e.g. `repro_all`).
     pub tool: String,
@@ -96,6 +105,7 @@ mod tests {
             name: "table1".into(),
             seconds: 1.25,
             counters: BTreeMap::from([("oracle.example_queries".into(), 2000u64)]),
+            degraded: false,
         });
         manifest.total_seconds = 1.5;
         let json = serde_json::to_string_pretty(&manifest).unwrap();
@@ -111,6 +121,7 @@ mod tests {
                 name: name.into(),
                 seconds: 0.0,
                 counters: BTreeMap::from([("q".into(), 10u64)]),
+                degraded: false,
             });
         }
         assert_eq!(manifest.counter_totals()["q"], 20);

@@ -26,6 +26,7 @@ pub struct Counter {
 }
 
 impl Counter {
+    /// Adds `delta` to the counter (and to the active counter scope).
     pub fn add(&self, delta: u64) {
         self.cell.fetch_add(delta, Ordering::Relaxed);
         // Attribute the increment to the thread's active counter scope
@@ -42,10 +43,12 @@ impl Counter {
         }
     }
 
+    /// Adds one.
     pub fn incr(&self) {
         self.add(1);
     }
 
+    /// The counter's current value.
     pub fn get(&self) -> u64 {
         self.cell.load(Ordering::Relaxed)
     }
@@ -211,12 +214,14 @@ impl Histogram {
         }
     }
 
+    /// Records one observation.
     pub fn observe(&self, value: u64) {
         self.inner.count.fetch_add(1, Ordering::Relaxed);
         self.inner.sum.fetch_add(value, Ordering::Relaxed);
         self.inner.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Copies the current counts into a [`HistogramSnapshot`].
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
             count: self.inner.count.load(Ordering::Relaxed),
@@ -239,8 +244,11 @@ impl Histogram {
 /// the non-empty `(bucket_index, count)` pairs.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HistogramSnapshot {
+    /// Total observations.
     pub count: u64,
+    /// Sum of all observed values.
     pub sum: u64,
+    /// Non-empty `(log₂ bucket index, count)` pairs.
     pub buckets: Vec<(u32, u64)>,
 }
 
@@ -293,7 +301,9 @@ fn bucket_inclusive_max(index: usize) -> u64 {
 /// A point-in-time copy of every registered metric.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
+    /// Counter values by name.
     pub counters: BTreeMap<String, u64>,
+    /// Histogram snapshots by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
 
@@ -377,14 +387,22 @@ pub fn snapshot() -> MetricsSnapshot {
 /// One line of a `metrics.jsonl` dump.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum MetricLine {
+    /// One counter.
     Counter {
+        /// Counter name.
         name: String,
+        /// Counter value at snapshot time.
         value: u64,
     },
+    /// One histogram.
     Histogram {
+        /// Histogram name.
         name: String,
+        /// Total observations.
         count: u64,
+        /// Sum of all observed values.
         sum: u64,
+        /// Non-empty `(log₂ bucket index, count)` pairs.
         buckets: Vec<(u32, u64)>,
     },
 }

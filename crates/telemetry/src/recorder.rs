@@ -18,10 +18,15 @@ use std::time::Instant;
 /// Verbosity levels for the `MLAM_LOG` stderr sink, coarsest first.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Level {
+    /// No stderr logging at all.
     Off,
+    /// Failures only.
     Error,
+    /// Progress notes.
     Info,
+    /// Per-span detail.
     Debug,
+    /// Everything, including span attributes.
     Trace,
 }
 
@@ -54,7 +59,9 @@ pub fn stderr_level() -> Level {
 /// What happened, as recorded by a span guard.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum EventKind {
+    /// A span guard was created.
     SpanStart,
+    /// A span guard was dropped.
     SpanEnd,
 }
 
@@ -69,7 +76,9 @@ pub enum EventKind {
 /// on (not the OS thread id).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Event {
+    /// Start or end.
     pub kind: EventKind,
+    /// The span's name.
     pub name: String,
     /// Process-unique id of the span this event belongs to (never 0).
     pub id: u64,
@@ -77,15 +86,20 @@ pub struct Event {
     pub parent_id: Option<u64>,
     /// Process-unique id of the thread the span started on.
     pub tid: u64,
+    /// Nesting depth of the span on its starting thread.
     pub depth: usize,
+    /// Nanoseconds since the recorder was first touched (monotonic).
     pub ts_ns: u64,
+    /// Span duration in nanoseconds; `SpanEnd` only.
     pub elapsed_ns: Option<u64>,
+    /// Key/value attributes attached to the span.
     pub attrs: Vec<(String, String)>,
 }
 
 /// A destination for telemetry events. Implementations must be
 /// thread-safe; `record` is called under the recorder lock.
 pub trait Sink: Send {
+    /// Receives one event.
     fn record(&mut self, event: &Event);
 }
 
@@ -126,6 +140,18 @@ impl JsonlSink {
     pub fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<JsonlSink> {
         Ok(JsonlSink {
             file: std::fs::File::create(path)?,
+        })
+    }
+
+    /// Opens `path` for event output, keeping existing content — used
+    /// when resuming an interrupted run whose `events.jsonl` already
+    /// holds the earlier attempt's events.
+    pub fn append(path: impl AsRef<std::path::Path>) -> std::io::Result<JsonlSink> {
+        Ok(JsonlSink {
+            file: std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)?,
         })
     }
 }

@@ -46,6 +46,27 @@ impl RunDir {
         Ok(RunDir { path })
     }
 
+    /// Reopens an existing run directory to continue an interrupted
+    /// run.
+    ///
+    /// Unlike [`RunDir::create`], an existing `manifest.json` is fine —
+    /// resuming a finished run simply finds every experiment complete.
+    /// A *missing* directory is refused instead, because there is
+    /// nothing to resume in it.
+    pub fn resume(path: impl Into<PathBuf>) -> io::Result<RunDir> {
+        let path = path.into();
+        if !path.is_dir() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!(
+                    "cannot resume {}: not a run directory (start a fresh run with --json)",
+                    path.display()
+                ),
+            ));
+        }
+        Ok(RunDir { path })
+    }
+
     /// The directory this run writes into.
     pub fn path(&self) -> &Path {
         &self.path

@@ -9,6 +9,7 @@ use serde::{Deserialize, Serialize};
 /// One experiment's perf-trajectory entry.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BenchEntry {
+    /// The experiment's name.
     pub name: String,
     /// Wall-clock inside the experiment driver, nanoseconds.
     pub wall_ns: u64,
@@ -55,6 +56,7 @@ mod tests {
         manifest.experiments.push(ExperimentRecord {
             name: "table1".into(),
             seconds: 1.5,
+            degraded: false,
             counters: BTreeMap::from([
                 ("oracle.example_queries".to_string(), 2000u64),
                 ("oracle.membership_queries".to_string(), 30u64),

@@ -23,19 +23,28 @@ pub const TRACE_PID: u64 = 1;
 #[allow(non_snake_case)]
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ChromeTrace {
+    /// The duration events, in stream order.
     pub traceEvents: Vec<ChromeEvent>,
+    /// Display unit hint for the viewer (`"ms"`).
     pub displayTimeUnit: String,
 }
 
 /// One duration event. `ts` is microseconds from the recorder epoch.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ChromeEvent {
+    /// Span name.
     pub name: String,
+    /// Event category (the span name's first dotted segment).
     pub cat: String,
+    /// Phase: `"B"` (begin) or `"E"` (end).
     pub ph: String,
+    /// Microseconds from the recorder epoch.
     pub ts: f64,
+    /// Process id ([`TRACE_PID`] for every track).
     pub pid: u64,
+    /// Track id (the telemetry thread id).
     pub tid: u64,
+    /// Span attributes plus the span and parent-span ids.
     pub args: BTreeMap<String, String>,
 }
 

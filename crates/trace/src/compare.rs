@@ -47,20 +47,31 @@ impl CompareOptions {
 /// A counter whose value differs between the runs (0 = absent).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CounterDrift {
+    /// Experiment the counter belongs to.
     pub experiment: String,
+    /// The drifting counter's name.
     pub counter: String,
+    /// Value in the baseline run.
     pub baseline: u64,
+    /// Value in the current run.
     pub current: u64,
 }
 
 /// Wall-clock for one experiment in both runs.
 #[derive(Clone, Debug, PartialEq)]
 pub struct WallDelta {
+    /// Experiment name (`"(total)"` for the whole-run row).
     pub name: String,
+    /// Wall-clock seconds in the baseline run.
     pub baseline_s: f64,
+    /// Wall-clock seconds in the current run.
     pub current_s: f64,
     /// Beyond threshold *and* above the noise floor.
     pub regressed: bool,
+    /// At least one side is a partial record from a failed experiment
+    /// (`degraded: true` in its manifest). Rendered as a marker; a
+    /// degraded/complete *mismatch* is additionally structure drift.
+    pub degraded: bool,
 }
 
 impl WallDelta {
@@ -117,7 +128,12 @@ impl CompareReport {
                 w.baseline_s,
                 w.current_s,
                 w.ratio() * 100.0,
-                if w.regressed { "  REGRESSED" } else { "" },
+                match (w.regressed, w.degraded) {
+                    (true, true) => "  REGRESSED  [degraded]",
+                    (true, false) => "  REGRESSED",
+                    (false, true) => "  [degraded]",
+                    (false, false) => "",
+                },
             );
         }
         for note in &self.structure {
@@ -146,6 +162,31 @@ fn flag(baseline_s: f64, current_s: f64, opts: &CompareOptions) -> bool {
 }
 
 /// Diffs two run manifests. See the module docs for the rules.
+///
+/// # Example
+///
+/// ```
+/// use mlam_telemetry::{ExperimentRecord, RunManifest};
+/// use mlam_trace::compare::{compare, CompareOptions};
+///
+/// let mut baseline = RunManifest::new("repro_all", 7, true);
+/// baseline.experiments.push(ExperimentRecord {
+///     name: "table1".into(),
+///     seconds: 1.0,
+///     degraded: false,
+///     counters: [("oracle.example_queries".to_string(), 2000u64)].into(),
+/// });
+/// // Same seed, same counters, slightly different wall-clock: clean.
+/// let mut current = baseline.clone();
+/// current.experiments[0].seconds = 1.05;
+/// let report = compare(&baseline, &current, &CompareOptions::default());
+/// assert!(!report.has_counter_drift());
+/// assert!(!report.has_wall_regression());
+///
+/// // One query fewer is behavioral drift — always a hard failure.
+/// *current.experiments[0].counters.get_mut("oracle.example_queries").unwrap() -= 1;
+/// assert!(compare(&baseline, &current, &CompareOptions::default()).has_counter_drift());
+/// ```
 pub fn compare(
     baseline: &RunManifest,
     current: &RunManifest,
@@ -189,11 +230,23 @@ pub fn compare(
             ));
             continue;
         };
+        if base_exp.degraded != cur_exp.degraded {
+            report.structure.push(format!(
+                "experiment {} is degraded (partial record) in the {} run only",
+                base_exp.name,
+                if cur_exp.degraded {
+                    "current"
+                } else {
+                    "baseline"
+                }
+            ));
+        }
         report.wall.push(WallDelta {
             name: base_exp.name.clone(),
             baseline_s: base_exp.seconds,
             current_s: cur_exp.seconds,
             regressed: flag(base_exp.seconds, cur_exp.seconds, opts),
+            degraded: base_exp.degraded || cur_exp.degraded,
         });
         let keys: BTreeSet<&String> = base_exp
             .counters
@@ -221,6 +274,7 @@ pub fn compare(
         baseline_s: baseline.total_seconds,
         current_s: current.total_seconds,
         regressed: flag(baseline.total_seconds, current.total_seconds, opts),
+        degraded: false,
     });
     report
 }
@@ -272,6 +326,7 @@ mod tests {
             m.experiments.push(ExperimentRecord {
                 name: name.to_string(),
                 seconds: *seconds,
+                degraded: false,
                 counters: counters.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
             });
             m.total_seconds += seconds;
@@ -377,6 +432,25 @@ mod tests {
         assert!(compare(&a, &missing, &CompareOptions::default()).has_counter_drift());
         let extra = manifest(7, &[("table1", 1.0, &[]), ("table9", 1.0, &[])]);
         assert!(compare(&a, &extra, &CompareOptions::default()).has_counter_drift());
+    }
+
+    #[test]
+    fn degraded_mismatch_is_structure_drift() {
+        let a = manifest(7, &[("table1", 1.0, &[("oracle.example_queries", 500)])]);
+        let mut b = a.clone();
+        b.experiments[0].degraded = true;
+        // A degraded record vs. a complete one: not comparable.
+        let report = compare(&a, &b, &CompareOptions::default());
+        assert!(report.has_counter_drift());
+        assert!(report.render().contains("degraded"));
+        assert!(report.wall[0].degraded);
+        // Both degraded the same way (e.g. two runs of a checked-in
+        // degraded baseline): comparable, marked in the rendering.
+        let mut a2 = a.clone();
+        a2.experiments[0].degraded = true;
+        let report = compare(&a2, &b, &CompareOptions::default());
+        assert!(!report.has_counter_drift());
+        assert!(report.render().contains("[degraded]"));
     }
 
     #[test]

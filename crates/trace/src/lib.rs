@@ -19,6 +19,8 @@
 //!   publishes (`{name, wall_ns, queries, sat_conflicts}` per
 //!   experiment).
 
+#![warn(missing_docs)]
+
 pub mod bench_json;
 pub mod chrome;
 pub mod compare;

@@ -9,6 +9,7 @@ use std::fmt::Write as _;
 /// One aggregated call-path node of the span tree.
 #[derive(Clone, Debug)]
 pub struct Node {
+    /// Span name at this path.
     pub name: String,
     /// Completed span instances at this path.
     pub count: u64,
@@ -17,6 +18,7 @@ pub struct Node {
     pub unclosed: u64,
     /// Total wall-clock inside spans at this path, children included.
     pub inclusive_ns: u64,
+    /// Child call paths, in first-seen order.
     pub children: Vec<Node>,
 }
 

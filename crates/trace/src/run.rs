@@ -11,10 +11,15 @@ use std::path::{Path, PathBuf};
 /// metric maps are empty/`None` when the corresponding file is absent,
 /// so tools can work from a bare `events.jsonl` too.
 pub struct RunData {
+    /// The run directory the data came from.
     pub dir: PathBuf,
+    /// Parsed `events.jsonl` span stream.
     pub events: Vec<Event>,
+    /// Parsed `manifest.json`, when present.
     pub manifest: Option<RunManifest>,
+    /// Counter lines from `metrics.jsonl`.
     pub counters: BTreeMap<String, u64>,
+    /// Histogram lines from `metrics.jsonl`.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
 

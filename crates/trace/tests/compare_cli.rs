@@ -27,6 +27,7 @@ fn quick_manifest(tweak_seconds: f64, tweak_queries: u64) -> RunManifest {
         manifest.experiments.push(ExperimentRecord {
             name: name.to_string(),
             seconds: seconds * tweak_seconds,
+            degraded: false,
             counters,
         });
         manifest.total_seconds += seconds * tweak_seconds;
@@ -120,6 +121,7 @@ fn ignore_counter_prefixes_exclude_path_counters_from_drift() {
         manifest.experiments.push(ExperimentRecord {
             name: "collect".to_string(),
             seconds: 1.0,
+            degraded: false,
             counters,
         });
         manifest.total_seconds += 1.0;

@@ -1,4 +1,4 @@
-//! Offline stub of [`criterion`]: just enough harness to compile and
+//! Offline stub of `criterion`: just enough harness to compile and
 //! run the workspace's `benches/` targets without the real crate.
 //!
 //! Each `bench_function` runs its routine `sample_size` times and

@@ -127,6 +127,18 @@ pub fn take_field<'de, T: Deserialize<'de>, E: Error>(
     }
 }
 
+/// Like [`take_field`], but a missing field deserializes as
+/// `Default::default()` — the behavior behind `#[serde(default)]`.
+pub fn take_field_or_default<'de, T: Deserialize<'de> + Default, E: Error>(
+    entries: &mut Vec<(String, Content)>,
+    key: &str,
+) -> Result<T, E> {
+    match entries.iter().position(|(k, _)| k == key) {
+        Some(idx) => from_content(entries.swap_remove(idx).1),
+        None => Ok(T::default()),
+    }
+}
+
 // ---------------------------------------------------------------------
 // Deserialize impls for std types.
 

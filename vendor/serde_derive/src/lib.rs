@@ -9,7 +9,10 @@
 //! Field types are never inspected: generated code relies on type
 //! inference (`&self.field` for serialization, constructor position
 //! for deserialization), which is what keeps hand-rolled parsing
-//! tractable. `#[serde(...)]` attributes are not supported and
+//! tractable. The only `#[serde(...)]` attribute supported is
+//! `#[serde(default)]` on a named field (a missing field
+//! deserializes as `Default::default()` — used for
+//! forward-compatible record formats like the run manifest);
 //! anything unsupported fails loudly at expansion time.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
@@ -18,7 +21,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 enum Shape {
     Struct {
         name: String,
-        fields: Vec<String>,
+        fields: Vec<Field>,
     },
     UnitStruct {
         name: String,
@@ -29,6 +32,14 @@ enum Shape {
     },
 }
 
+/// One named field and the serde options that apply to it.
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: a missing field deserializes as
+    /// `Default::default()` instead of erroring.
+    default: bool,
+}
+
 struct Variant {
     name: String,
     kind: VariantKind,
@@ -37,10 +48,10 @@ struct Variant {
 enum VariantKind {
     Unit,
     Tuple(usize),
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let shape = parse_shape(input);
     gen_serialize(&shape)
@@ -48,7 +59,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         .expect("generated Serialize impl must parse")
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let shape = parse_shape(input);
     gen_deserialize(&shape)
@@ -120,17 +131,22 @@ fn parse_shape(input: TokenStream) -> Shape {
     }
 }
 
-/// Extracts field names from `a: T, b: U, ...`, ignoring attributes,
-/// visibility, and the types themselves (angle-bracket depth is tracked
-/// so commas inside `Vec<(A, B)>` don't split fields).
-fn parse_named_fields(body: TokenStream) -> Vec<String> {
+/// Extracts field names from `a: T, b: U, ...`, honoring
+/// `#[serde(default)]`, ignoring other attributes and visibility, and
+/// never inspecting the types themselves (angle-bracket depth is
+/// tracked so commas inside `Vec<(A, B)>` don't split fields).
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = body.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
+    let mut default = false;
     while i < tokens.len() {
-        // Skip attributes and visibility before the field name.
+        // Process attributes and skip visibility before the field name.
         match &tokens[i] {
             TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    default |= parse_serde_attribute(g.stream());
+                }
                 i += 2;
                 continue;
             }
@@ -156,7 +172,10 @@ fn parse_named_fields(body: TokenStream) -> Vec<String> {
                 panic!("serde_derive stub: expected `:` after field `{name}`, found {other:?}")
             }
         }
-        fields.push(name);
+        fields.push(Field {
+            name,
+            default: std::mem::take(&mut default),
+        });
         // Skip the type: everything until a comma at angle depth 0.
         let mut angle = 0i32;
         while i < tokens.len() {
@@ -173,6 +192,27 @@ fn parse_named_fields(body: TokenStream) -> Vec<String> {
         }
     }
     fields
+}
+
+/// Inspects one attribute body (`[...]`). Returns `true` when it is
+/// `#[serde(default)]`; other serde options panic (unsupported), and
+/// non-serde attributes (doc comments, derives) are ignored.
+fn parse_serde_attribute(body: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    let Some(TokenTree::Group(options)) = tokens.get(1) else {
+        panic!("serde_derive stub: expected `#[serde(...)]` options");
+    };
+    let options: Vec<TokenTree> = options.stream().into_iter().collect();
+    match options.as_slice() {
+        [TokenTree::Ident(id)] if id.to_string() == "default" => true,
+        other => {
+            panic!("serde_derive stub: only `#[serde(default)]` is supported, found {other:?}")
+        }
+    }
 }
 
 fn parse_variants(body: TokenStream) -> Vec<Variant> {
@@ -264,6 +304,7 @@ fn gen_serialize(shape: &Shape) -> String {
                 fields.len()
             );
             for f in fields {
+                let f = &f.name;
                 body.push_str(&format!(
                     "::serde::ser::SerializeStruct::serialize_field(\
                        &mut __state, \"{f}\", &self.{f})?;\n"
@@ -320,6 +361,7 @@ fn gen_serialize(shape: &Shape) -> String {
                             fields.len()
                         );
                         for f in fields {
+                            let f = &f.name;
                             inner.push_str(&format!(
                                 "::serde::ser::SerializeStruct::serialize_field(\
                                    &mut __state, \"{f}\", {f})?;\n"
@@ -328,7 +370,11 @@ fn gen_serialize(shape: &Shape) -> String {
                         inner.push_str("::serde::ser::SerializeStruct::end(__state)\n");
                         arms.push_str(&format!(
                             "{name}::{vname} {{ {} }} => {{\n{inner}}}\n",
-                            fields.join(", ")
+                            fields
+                                .iter()
+                                .map(|f| f.name.clone())
+                                .collect::<Vec<_>>()
+                                .join(", ")
                         ));
                     }
                 }
@@ -348,14 +394,22 @@ fn gen_serialize(shape: &Shape) -> String {
 // ---------------------------------------------------------------------
 // Codegen: Deserialize
 
-fn gen_field_extraction(owner: &str, fields: &[String]) -> String {
+fn gen_field_extraction(owner: &str, fields: &[Field]) -> String {
     fields
         .iter()
         .map(|f| {
-            format!(
-                "{f}: ::serde::de::take_field::<_, __D::Error>(\
-                   &mut __entries, \"{owner}\", \"{f}\")?,\n"
-            )
+            let name = &f.name;
+            if f.default {
+                format!(
+                    "{name}: ::serde::de::take_field_or_default::<_, __D::Error>(\
+                       &mut __entries, \"{name}\")?,\n"
+                )
+            } else {
+                format!(
+                    "{name}: ::serde::de::take_field::<_, __D::Error>(\
+                       &mut __entries, \"{owner}\", \"{name}\")?,\n"
+                )
+            }
         })
         .collect()
 }

@@ -1,4 +1,4 @@
-//! Offline stub of [`serde_json`]: a JSON format implementation for the
+//! Offline stub of `serde_json`: a JSON format implementation for the
 //! vendored serde stub.
 //!
 //! Provides the subset the mlam workspace uses: [`to_string`],

@@ -2,7 +2,8 @@
 //! reproduction entry point referenced by EXPERIMENTS.md.
 //!
 //! Usage: `cargo run --release -p mlam-bench --bin repro_all
-//! [--quick] [--json <dir>] [--force] [--resume <dir>]`
+//! [--quick] [--json <dir>] [--force] [--resume <dir>]
+//! [--monitor <addr>] [--progress]`
 //!
 //! Experiments are fanned out across `MLAM_THREADS` worker threads
 //! (default: available parallelism; `1` runs inline). Results are
@@ -27,8 +28,23 @@
 //! goes to stderr), everything else — missing, corrupt, or degraded —
 //! re-runs from its original per-experiment seed, so the final run
 //! directory is bit-identical to an uninterrupted run. See HARNESS.md.
+//!
+//! With `--monitor <addr>` (e.g. `127.0.0.1:9100`), serves live
+//! observability for the duration of the run: `/metrics` (Prometheus
+//! text exposition), `/progress` (JSON completed/total + ETA) and
+//! `/healthz`. `--progress` prints progress/ETA lines to stderr as
+//! experiments finish. Neither perturbs results: stdout and every
+//! deterministic output (counters, tables, manifests — everything but
+//! wall-clock timing fields) are byte-identical with monitoring on or
+//! off. See OBSERVABILITY.md.
 
 use mlam_bench::{parse_cli, run_all, Session};
+
+// Heap gauges on /metrics need the tracking allocator installed at
+// link time; accounting stays off (one relaxed load per allocation)
+// unless MLAM_TRACK_ALLOC=1 opts in.
+#[global_allocator]
+static ALLOC: mlam_monitor::alloc::TrackingAlloc = mlam_monitor::alloc::TrackingAlloc;
 
 fn main() {
     let options = parse_cli(std::env::args());

@@ -19,12 +19,14 @@
 use mlam::experiments::checkpoint::CheckpointState;
 use mlam::report::Table;
 use mlam::telemetry::{self, ExperimentRecord, RunManifest};
+use mlam_monitor::{Monitor, MonitorHandle, Progress, ProgressReporter};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
 use std::panic::AssertUnwindSafe;
 use std::path::{Path, PathBuf};
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 pub use mlam::experiments::checkpoint::{CheckpointStore, ExperimentJson, TableJson};
 
@@ -60,16 +62,24 @@ pub struct CliOptions {
     /// directory, skipping every experiment whose checkpoint is
     /// complete and re-running corrupt, degraded or missing ones.
     pub resume: Option<PathBuf>,
+    /// Serve live observability (`/metrics`, `/progress`, `/healthz`)
+    /// on this address (e.g. `127.0.0.1:9100`) for the duration of the
+    /// run. Monitoring never perturbs results: stdout and the `--json`
+    /// files are byte-identical with it on or off (see
+    /// `OBSERVABILITY.md`).
+    pub monitor: Option<String>,
+    /// Print progress/ETA lines to **stderr** as experiments complete.
+    pub progress: bool,
 }
 
-/// Parses `--quick`, `--json <dir>`, `--force` and `--resume <dir>`
-/// from an argument iterator (unrecognized arguments are ignored, as
-/// the binaries always did).
+/// Parses `--quick`, `--json <dir>`, `--force`, `--resume <dir>`,
+/// `--monitor <addr>` and `--progress` from an argument iterator
+/// (unrecognized arguments are ignored, as the binaries always did).
 ///
 /// # Panics
 ///
-/// Panics if `--json` or `--resume` is not followed by a directory
-/// path.
+/// Panics if `--json`, `--resume` or `--monitor` is not followed by
+/// its argument.
 pub fn parse_cli<I: IntoIterator<Item = String>>(args: I) -> CliOptions {
     let mut options = CliOptions::default();
     let mut iter = args.into_iter();
@@ -85,6 +95,13 @@ pub fn parse_cli<I: IntoIterator<Item = String>>(args: I) -> CliOptions {
                 let dir = iter.next().expect("--resume requires a directory argument");
                 options.resume = Some(PathBuf::from(dir));
             }
+            "--monitor" => {
+                let addr = iter
+                    .next()
+                    .expect("--monitor requires an address argument (e.g. 127.0.0.1:9100)");
+                options.monitor = Some(addr);
+            }
+            "--progress" => options.progress = true,
             _ => {}
         }
     }
@@ -100,6 +117,12 @@ pub struct Session {
     store: Option<CheckpointStore>,
     resuming: bool,
     started: Instant,
+    // Observability (all None/off unless --monitor/--progress asked):
+    // lives entirely outside the telemetry registry, so none of it can
+    // change metrics.jsonl — see mlam-monitor's determinism firewall.
+    progress: Option<Arc<Progress>>,
+    monitor: Option<MonitorHandle>,
+    reporter: Option<ProgressReporter>,
 }
 
 impl Session {
@@ -160,13 +183,58 @@ impl Session {
             run_dir
         });
         let store = run_dir.as_ref().map(|dir| CheckpointStore::new(dir.path()));
+        let progress =
+            (options.monitor.is_some() || options.progress).then(|| Arc::new(Progress::new(0)));
+        if matches!(std::env::var("MLAM_TRACK_ALLOC"), Ok(v) if !v.is_empty() && v != "0") {
+            // Heap accounting is opt-in even under --monitor: the
+            // per-allocation atomics cost ~1% of the quick suite, and
+            // the overhead_pct < 2.0 bar in BENCH_6.json covers what
+            // every monitored run pays by default. Without the env the
+            // mem gauges on /metrics read zero. Gauges also need the
+            // binary to install mlam_monitor::alloc::TrackingAlloc as
+            // its global allocator (repro_all and fault_sweep do).
+            mlam_monitor::alloc::enable();
+        }
+        let monitor = options.monitor.as_ref().map(|addr| {
+            let mut config = Monitor::new(addr);
+            if let Some(progress) = &progress {
+                config = config.progress(Arc::clone(progress));
+            }
+            let handle = config
+                .start()
+                .unwrap_or_else(|e| panic!("cannot start monitor on {addr}: {e}"));
+            eprintln!(
+                "mlam: monitor listening on http://{}/metrics",
+                handle.addr()
+            );
+            handle
+        });
+        let reporter = options.progress.then(|| {
+            let progress = progress.as_ref().expect("progress state exists");
+            ProgressReporter::start(Arc::clone(progress), Duration::from_millis(500))
+        });
         Session {
             manifest,
             run_dir,
             store,
             resuming,
             started: Instant::now(),
+            progress,
+            monitor,
+            reporter,
         }
+    }
+
+    /// The live progress state, when `--monitor` or `--progress` is
+    /// active (testing and endpoint consumers; `None` otherwise).
+    pub fn progress(&self) -> Option<&Arc<Progress>> {
+        self.progress.as_ref()
+    }
+
+    /// The address the monitor endpoint actually bound (resolves a
+    /// `--monitor 127.0.0.1:0` ephemeral-port request), when active.
+    pub fn monitor_addr(&self) -> Option<std::net::SocketAddr> {
+        self.monitor.as_ref().map(|handle| handle.addr())
     }
 
     /// The root seed binaries should feed their RNG from.
@@ -194,6 +262,9 @@ impl Session {
         // e.g. sibling experiments of a parallel batch — runs
         // concurrently, and nested parallel regions inherit the scope
         // via the mlam-par context hook.
+        if let Some(progress) = &self.progress {
+            progress.add_total(1);
+        }
         let scope = telemetry::CounterScope::new();
         let started = Instant::now();
         let value = {
@@ -219,6 +290,9 @@ impl Session {
                 tables: render(&value).iter().map(TableJson::from_table).collect(),
             };
             store.save(&record).unwrap_or_else(|e| panic!("{e}"));
+        }
+        if let Some(progress) = &self.progress {
+            progress.complete_one();
         }
         value
     }
@@ -252,6 +326,9 @@ impl Session {
         telemetry::install_parallel_propagation();
         let root = self.seed();
         let quick = self.quick();
+        if let Some(progress) = &self.progress {
+            progress.add_total(specs.len() as u64);
+        }
         // Spec order must survive the skip/run split: each slot is
         // either a restored checkpoint or an index into the task list
         // handed to the pool, and results are drained back in order.
@@ -273,6 +350,11 @@ impl Session {
                         "mlam: resume: skipping {} (checkpoint complete)",
                         spec.name()
                     );
+                    // A restored experiment is done work: count it
+                    // immediately so /progress reflects the resume.
+                    if let Some(progress) = &self.progress {
+                        progress.complete_one();
+                    }
                     slots.push(Slot::Restored(record));
                     continue;
                 }
@@ -300,8 +382,17 @@ impl Session {
                 Some(CheckpointState::Missing) | None => {}
             }
             slots.push(Slot::Fresh);
-            tasks.push(Box::new(move || run_spec(spec, root, index))
-                as Box<dyn FnOnce() -> BatchOutcome + Send>);
+            // Workers carry their own store/progress handles so each
+            // experiment checkpoints (and counts complete) the moment
+            // it finishes, not when the whole batch drains: a mid-run
+            // /progress scrape is always consistent with the
+            // checkpoint files already on disk.
+            let store = self.store.clone();
+            let progress = self.progress.clone();
+            tasks.push(
+                Box::new(move || run_spec(spec, root, quick, index, store, progress))
+                    as Box<dyn FnOnce() -> BatchOutcome + Send>,
+            );
         }
         let mut fresh = mlam_par::par_run(tasks).into_iter();
         let mut failures = Vec::new();
@@ -323,6 +414,12 @@ impl Session {
                 }
                 Slot::Fresh => {
                     let outcome = fresh.next().expect("one outcome per fresh slot");
+                    // The worker already streamed the checkpoint to
+                    // disk; a failed save still fails the run, just
+                    // surfaced here on the main thread.
+                    if let Some(error) = outcome.checkpoint_error {
+                        panic!("{error}");
+                    }
                     let degraded = outcome.result.is_err();
                     self.manifest.experiments.push(ExperimentRecord {
                         name: outcome.name.to_string(),
@@ -341,18 +438,6 @@ impl Session {
                             Vec::new()
                         }
                     };
-                    if let Some(store) = &self.store {
-                        let record = ExperimentJson {
-                            name: outcome.name.to_string(),
-                            seed: root,
-                            quick,
-                            seconds: outcome.seconds,
-                            degraded,
-                            counters: outcome.counters,
-                            tables: tables.iter().map(TableJson::from_table).collect(),
-                        };
-                        store.save(&record).unwrap_or_else(|e| panic!("{e}"));
-                    }
                     for table in &tables {
                         println!("{table}");
                     }
@@ -364,7 +449,9 @@ impl Session {
 
     /// Finalizes the manifest (total wall-clock, final metrics) and,
     /// under `--json`, writes `manifest.json` and `metrics.jsonl`.
-    /// Returns the manifest for in-process inspection.
+    /// Shuts the progress reporter (after its final line) and the
+    /// monitor endpoint down. Returns the manifest for in-process
+    /// inspection.
     pub fn finish(mut self) -> RunManifest {
         self.manifest.total_seconds = self.started.elapsed().as_secs_f64();
         self.manifest.final_metrics = telemetry::snapshot();
@@ -376,6 +463,12 @@ impl Session {
                 .unwrap_or_else(|e| panic!("{e}"));
             telemetry::write_metrics_jsonl(file, &self.manifest.final_metrics)
                 .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        }
+        if let Some(reporter) = self.reporter.take() {
+            reporter.shutdown();
+        }
+        if let Some(monitor) = self.monitor.take() {
+            monitor.shutdown();
         }
         self.manifest
     }
@@ -424,11 +517,28 @@ struct BatchOutcome {
     seconds: f64,
     counters: BTreeMap<String, u64>,
     result: Result<Vec<Table>, String>,
+    /// A failed streaming checkpoint save, surfaced on the main thread.
+    checkpoint_error: Option<String>,
 }
 
 /// Executes one spec on whichever worker the pool picked: independent
 /// RNG from `(root, index)`, own counter scope, panics contained.
-fn run_spec(spec: ExperimentSpec, root: u64, index: usize) -> BatchOutcome {
+///
+/// The checkpoint is saved *here*, as soon as the driver returns —
+/// streamed to disk while sibling experiments still run — so a resume
+/// after a mid-batch kill skips everything that finished, and the
+/// `/progress` endpoint agrees with the checkpoint directory at every
+/// instant. The save (and its `harness.checkpoint.saved` increment)
+/// happens after the counter scope is drained, exactly as when the
+/// drain loop saved: attribution and `metrics.jsonl` are unchanged.
+fn run_spec(
+    spec: ExperimentSpec,
+    root: u64,
+    quick: bool,
+    index: usize,
+    store: Option<CheckpointStore>,
+    progress: Option<Arc<Progress>>,
+) -> BatchOutcome {
     let name = spec.name;
     let scope = telemetry::CounterScope::new();
     let started = Instant::now();
@@ -440,11 +550,36 @@ fn run_spec(spec: ExperimentSpec, root: u64, index: usize) -> BatchOutcome {
             run(&mut rng)
         }))
     };
+    let seconds = started.elapsed().as_secs_f64();
+    let counters = scope.take();
+    let result = result.map_err(|payload| panic_message(payload.as_ref()));
+    let mut checkpoint_error = None;
+    if let Some(store) = &store {
+        let record = ExperimentJson {
+            name: name.to_string(),
+            seed: root,
+            quick,
+            seconds,
+            degraded: result.is_err(),
+            counters: counters.clone(),
+            tables: result
+                .as_deref()
+                .map(|tables| tables.iter().map(TableJson::from_table).collect())
+                .unwrap_or_default(),
+        };
+        if let Err(e) = store.save(&record) {
+            checkpoint_error = Some(e.to_string());
+        }
+    }
+    if let Some(progress) = &progress {
+        progress.complete_one();
+    }
     BatchOutcome {
         name,
-        seconds: started.elapsed().as_secs_f64(),
-        counters: scope.take(),
-        result: result.map_err(|payload| panic_message(payload.as_ref())),
+        seconds,
+        counters,
+        result,
+        checkpoint_error,
     }
 }
 
@@ -619,8 +754,7 @@ mod tests {
         let options = CliOptions {
             quick: true,
             json_dir: Some(dir.clone()),
-            force: false,
-            resume: None,
+            ..CliOptions::default()
         };
         let result = std::panic::catch_unwind(|| Session::start("test-tool", &options));
         assert!(result.is_err(), "Session::start must refuse to clobber");
@@ -648,6 +782,55 @@ mod tests {
     }
 
     #[test]
+    fn cli_parses_monitor_and_progress() {
+        let opts =
+            parse_cli(["bin", "--monitor", "127.0.0.1:9100", "--progress"].map(String::from));
+        assert_eq!(opts.monitor.as_deref(), Some("127.0.0.1:9100"));
+        assert!(opts.progress);
+        let none = parse_cli(["bin"].map(String::from));
+        assert_eq!(none.monitor, None);
+        assert!(!none.progress);
+    }
+
+    #[test]
+    #[should_panic(expected = "--monitor requires an address")]
+    fn cli_rejects_dangling_monitor_flag() {
+        parse_cli(["bin", "--monitor"].map(String::from));
+    }
+
+    #[test]
+    fn monitored_batch_tracks_progress_and_serves_it() {
+        let dir = std::env::temp_dir().join(format!("mlam_session_monitor_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let options = CliOptions {
+            quick: true,
+            json_dir: Some(dir.clone()),
+            monitor: Some("127.0.0.1:0".to_string()),
+            ..CliOptions::default()
+        };
+        let mut session = Session::start("test-monitor", &options);
+        let progress = Arc::clone(
+            session
+                .progress()
+                .expect("--monitor implies progress state"),
+        );
+        assert_eq!(progress.completed(), 0);
+        let failures = session.run_batch(vec![
+            ExperimentSpec::new("monitored_a", |_| vec![Table::new("A", &["v"])]),
+            ExperimentSpec::new("monitored_b", |_| vec![Table::new("B", &["v"])]),
+        ]);
+        assert!(failures.is_empty());
+        // Workers streamed completions and checkpoints: both are on
+        // disk and counted before finish().
+        assert_eq!(progress.completed(), 2);
+        assert_eq!(progress.total(), 2);
+        assert!(dir.join("monitored_a.json").is_file());
+        assert!(dir.join("monitored_b.json").is_file());
+        session.finish();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     #[should_panic(expected = "--resume requires a directory")]
     fn cli_rejects_dangling_resume_flag() {
         parse_cli(["bin", "--resume"].map(String::from));
@@ -660,8 +843,7 @@ mod tests {
         let options = CliOptions {
             quick: true,
             json_dir: Some(dir.clone()),
-            force: false,
-            resume: None,
+            ..CliOptions::default()
         };
 
         let specs = || {
@@ -692,9 +874,8 @@ mod tests {
 
         let resumed_options = CliOptions {
             quick: true,
-            json_dir: None,
-            force: false,
             resume: Some(dir.clone()),
+            ..CliOptions::default()
         };
         let mut second = Session::start("test-resume", &resumed_options);
         assert!(second.run_batch(specs()).is_empty());
@@ -726,8 +907,7 @@ mod tests {
         let options = CliOptions {
             quick: true,
             json_dir: Some(dir.clone()),
-            force: false,
-            resume: None,
+            ..CliOptions::default()
         };
         let mut session = Session::start("test-degrade", &options);
         let failures = session.run_batch(vec![

@@ -1,0 +1,102 @@
+//! The determinism firewall, end to end: `repro_all --quick` with
+//! `--monitor` + `--progress` must produce **byte-identical stdout**
+//! and **bit-identical deterministic `metrics.jsonl` content** versus
+//! a run without monitoring, at one and four threads. Only the
+//! `span.*.micros` wall-clock histograms are excluded — no two
+//! processes reproduce those sums even with monitoring off — and for
+//! them the set of recorded span names must still match exactly. This
+//! is the property that makes live observability safe to leave on: it
+//! cannot perturb the reproduction contract CI diffs against
+//! `baselines/quick/`.
+
+use std::path::Path;
+use std::process::Command;
+
+/// Runs `repro_all --quick --json <dir>` and returns captured stdout.
+fn run_repro(dir: &Path, threads: &str, monitored: bool) -> Vec<u8> {
+    let mut command = Command::new(env!("CARGO_BIN_EXE_repro_all"));
+    command
+        .args(["--quick", "--json"])
+        .arg(dir)
+        .env("MLAM_THREADS", threads);
+    if monitored {
+        // Ephemeral port: parallel CI jobs must not collide, and the
+        // endpoint's presence (not its address) is what's under test.
+        command.args(["--monitor", "127.0.0.1:0", "--progress"]);
+    }
+    let output = command.output().expect("spawn repro_all");
+    assert!(
+        output.status.success(),
+        "repro_all failed (threads={threads} monitored={monitored}):\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    if monitored {
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains("monitor listening on"),
+            "--monitor must announce its endpoint on stderr"
+        );
+        assert!(
+            stderr.contains("progress 13/13"),
+            "--progress must report the final completion on stderr:\n{stderr}"
+        );
+    }
+    output.stdout
+}
+
+/// Splits `metrics.jsonl` into (deterministic lines, timing-histogram
+/// names). The `span.*.micros` histograms carry wall-clock sums that
+/// differ between any two processes; every other line — all counters
+/// and the value-shaped histograms — is part of the determinism
+/// contract and must match byte for byte.
+fn split_metrics(bytes: &[u8]) -> (Vec<String>, Vec<String>) {
+    let text = String::from_utf8(bytes.to_vec()).expect("metrics.jsonl is UTF-8");
+    let mut exact = Vec::new();
+    let mut timing = Vec::new();
+    for line in text.lines() {
+        let name = line
+            .split("\"name\":\"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+            .expect("metrics.jsonl line names a metric");
+        if name.ends_with(".micros") {
+            timing.push(name.to_string());
+        } else {
+            exact.push(line.to_string());
+        }
+    }
+    (exact, timing)
+}
+
+#[test]
+fn monitored_run_is_byte_identical_to_plain_run() {
+    let base = std::env::temp_dir().join(format!("mlam_monitor_det_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    for threads in ["1", "4"] {
+        let plain_dir = base.join(format!("plain_t{threads}"));
+        let monitored_dir = base.join(format!("monitored_t{threads}"));
+        let plain_stdout = run_repro(&plain_dir, threads, false);
+        let monitored_stdout = run_repro(&monitored_dir, threads, true);
+        assert_eq!(
+            plain_stdout, monitored_stdout,
+            "stdout must be byte-identical monitor-on vs off at MLAM_THREADS={threads}"
+        );
+        let plain_metrics =
+            std::fs::read(plain_dir.join("metrics.jsonl")).expect("plain metrics.jsonl");
+        let monitored_metrics =
+            std::fs::read(monitored_dir.join("metrics.jsonl")).expect("monitored metrics.jsonl");
+        let (plain_exact, plain_timing) = split_metrics(&plain_metrics);
+        let (monitored_exact, monitored_timing) = split_metrics(&monitored_metrics);
+        assert_eq!(
+            plain_exact, monitored_exact,
+            "deterministic metrics.jsonl lines must be bit-identical monitor-on \
+             vs off at MLAM_THREADS={threads}"
+        );
+        assert_eq!(
+            plain_timing, monitored_timing,
+            "the set of span timing histograms must not change with monitoring \
+             at MLAM_THREADS={threads}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -30,6 +30,7 @@ fn run_once(dir: &Path) -> RunManifest {
         json_dir: Some(dir.to_path_buf()),
         force: false,
         resume: None,
+        ..CliOptions::default()
     };
     let mut session = Session::start("repro_all", &options);
     let failures = run_all(&mut session);

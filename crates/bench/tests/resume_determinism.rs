@@ -17,6 +17,7 @@ fn run_full(dir: &Path, threads: &str) -> RunManifest {
         json_dir: Some(dir.to_path_buf()),
         force: false,
         resume: None,
+        ..CliOptions::default()
     };
     let mut session = Session::start("repro_all", &options);
     let failures = run_all(&mut session);
@@ -32,6 +33,7 @@ fn run_resume(dir: &Path, threads: &str) -> RunManifest {
         json_dir: None,
         force: false,
         resume: Some(dir.to_path_buf()),
+        ..CliOptions::default()
     };
     let mut session = Session::start("repro_all", &options);
     let failures = run_all(&mut session);

@@ -272,8 +272,10 @@ impl<O: MembershipOracle> UnreliableOracle<O> {
     /// than absorb a possibly-wrong bit) use this form.
     pub fn query_checked(&self, x: &BitVec) -> Result<bool, QueryError> {
         self.logical_queries.fetch_add(1, Ordering::Relaxed);
+        counter!("oracle.query.logical", 1);
         recover(&self.policy, |attempt| {
             self.raw_reads.fetch_add(1, Ordering::Relaxed);
+            counter!("oracle.query.raw_reads", 1);
             let raw = self.inner.query(x);
             self.faults.roll(x, attempt).apply(raw)
         })
@@ -292,7 +294,9 @@ impl<O: MembershipOracle> MembershipOracle for UnreliableOracle<O> {
                 // Degrade gracefully: one last non-droppable reading,
                 // still subject to flips.
                 self.exhausted.fetch_add(1, Ordering::Relaxed);
+                counter!("oracle.query.exhausted", 1);
                 self.raw_reads.fetch_add(1, Ordering::Relaxed);
+                counter!("oracle.query.raw_reads", 1);
                 let raw = self.inner.query(x);
                 raw ^ self.faults.flip_last_gasp(x, self.policy.max_attempts)
             }
@@ -314,11 +318,13 @@ impl<O: ExampleOracle> ExampleOracle for UnreliableOracle<O> {
     /// the same random example.
     fn example<R: Rng + ?Sized>(&self, rng: &mut R) -> (BitVec, bool) {
         self.logical_queries.fetch_add(1, Ordering::Relaxed);
+        counter!("oracle.query.logical", 1);
         let mut last = None;
         let mut losses = 0u32;
         for attempt in 0..self.policy.max_attempts {
             counter!("harness.retry.attempts", 1);
             self.raw_reads.fetch_add(1, Ordering::Relaxed);
+            counter!("oracle.query.raw_reads", 1);
             let (x, y) = self.inner.example(rng);
             match self.faults.roll(&x, attempt).apply(y) {
                 Some(bit) => return (x, bit),
@@ -336,6 +342,7 @@ impl<O: ExampleOracle> ExampleOracle for UnreliableOracle<O> {
         // with a last-gasp (flip-only) reading.
         counter!("harness.retry.exhausted", 1);
         self.exhausted.fetch_add(1, Ordering::Relaxed);
+        counter!("oracle.query.exhausted", 1);
         let (x, y) = last.expect("max_attempts is at least 1");
         let flipped = y ^ self.faults.flip_last_gasp(&x, self.policy.max_attempts);
         (x, flipped)
@@ -540,6 +547,28 @@ mod tests {
         assert_eq!(oracle.query(&x), f.eval(&x));
         assert_eq!(oracle.exhausted_queries(), 1);
         assert_eq!(oracle.raw_reads(), 3 + 3 + 1);
+    }
+
+    #[test]
+    fn unreliable_oracle_reports_query_budget_counters() {
+        use mlam_telemetry::CounterScope;
+        let f = majority(12);
+        // Every reading drops: a query spends the full attempt budget
+        // (3 raw reads) and then the last-gasp read (1 more).
+        let oracle = UnreliableOracle::new(
+            FunctionOracle::uniform(&f),
+            FaultModel::new(2, 0.0, 1.0),
+            RetryPolicy::retries(3),
+        );
+        let scope = CounterScope::new();
+        {
+            let _guard = scope.enter();
+            oracle.query(&BitVec::ones(12));
+        }
+        let deltas = scope.take();
+        assert_eq!(deltas["oracle.query.logical"], 1);
+        assert_eq!(deltas["oracle.query.raw_reads"], 4);
+        assert_eq!(deltas["oracle.query.exhausted"], 1);
     }
 
     #[test]

@@ -1,0 +1,270 @@
+//! Experiment progress: completed/total, throughput and ETA.
+//!
+//! A [`Progress`] is shared between the run loop (which reports
+//! completions as checkpoints land) and the observers: the `/progress`
+//! endpoint and the stderr [`ProgressReporter`] behind `--progress`.
+//! Counts are plain atomics — progress never touches the telemetry
+//! registry, so enabling it cannot perturb `metrics.jsonl` (see the
+//! crate-level determinism firewall).
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Shared progress state for one run: experiments completed out of a
+/// known total, with wall-clock kept since construction.
+///
+/// The completed count is monotone by construction ([`complete_one`]
+/// only increments), which is what lets a scraper assert monotonicity
+/// across `/progress` samples.
+///
+/// [`complete_one`]: Progress::complete_one
+pub struct Progress {
+    total: AtomicU64,
+    completed: AtomicU64,
+    started: Instant,
+}
+
+impl Progress {
+    /// Fresh progress over `total` expected experiments (the total can
+    /// grow later via [`Progress::add_total`]).
+    pub fn new(total: u64) -> Progress {
+        Progress {
+            total: AtomicU64::new(total),
+            completed: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// Raises the expected total by `more` (a session that runs several
+    /// batches announces each one as it is scheduled).
+    pub fn add_total(&self, more: u64) {
+        self.total.fetch_add(more, Ordering::Relaxed);
+    }
+
+    /// Records one finished experiment.
+    pub fn complete_one(&self) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Experiments finished so far.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Experiments expected in total.
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Wall-clock since this progress was created.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// A consistent point-in-time view with derived rate and ETA.
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        let completed = self.completed();
+        let total = self.total();
+        let elapsed_s = self.elapsed().as_secs_f64();
+        let rate = if elapsed_s > 0.0 {
+            completed as f64 / elapsed_s
+        } else {
+            0.0
+        };
+        let eta_s = if completed > 0 && total > completed {
+            Some((total - completed) as f64 * elapsed_s / completed as f64)
+        } else if total == completed && total > 0 {
+            Some(0.0)
+        } else {
+            None
+        };
+        ProgressSnapshot {
+            completed,
+            total,
+            elapsed_s,
+            rate_per_s: rate,
+            eta_s,
+        }
+    }
+}
+
+/// A serializable point-in-time view of a [`Progress`] — the payload
+/// of the `/progress` endpoint.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProgressSnapshot {
+    /// Experiments finished.
+    pub completed: u64,
+    /// Experiments expected.
+    pub total: u64,
+    /// Wall-clock seconds since the run started.
+    pub elapsed_s: f64,
+    /// Completions per second over the whole run so far.
+    pub rate_per_s: f64,
+    /// Estimated seconds to completion (`None` until the first
+    /// completion makes the rate meaningful).
+    pub eta_s: Option<f64>,
+}
+
+impl ProgressSnapshot {
+    /// One-line human rendering, used for the `--progress` stderr
+    /// lines.
+    pub fn render(&self) -> String {
+        let pct = if self.total > 0 {
+            self.completed as f64 / self.total as f64 * 100.0
+        } else {
+            0.0
+        };
+        let eta = match self.eta_s {
+            Some(eta) => format!("ETA {eta:.1}s"),
+            None => "ETA --".to_string(),
+        };
+        format!(
+            "progress {}/{} experiments ({pct:.0}%) · {:.2}/s · {eta}",
+            self.completed, self.total, self.rate_per_s
+        )
+    }
+}
+
+/// Background thread printing `mlam: progress …` lines to **stderr**
+/// whenever the completed count changes (and once at shutdown), so
+/// stdout stays byte-identical with the reporter on or off.
+pub struct ProgressReporter {
+    // Condvar-paired stop flag: shutdown wakes the thread instead of
+    // waiting out a polling period (see the sampler, which does the
+    // same).
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ProgressReporter {
+    /// Starts the reporter over `progress`, polling every `period`.
+    pub fn start(progress: Arc<Progress>, period: Duration) -> ProgressReporter {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let stop_pair = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("mlam-progress".into())
+            .spawn(move || {
+                let (flag, wake) = &*stop_pair;
+                let mut last_reported = u64::MAX;
+                loop {
+                    let snap = progress.snapshot();
+                    if snap.completed != last_reported {
+                        last_reported = snap.completed;
+                        eprintln!("mlam: {}", snap.render());
+                    }
+                    let stopped = flag.lock().expect("stop flag poisoned");
+                    if *stopped {
+                        // One final line so the terminal ends on the
+                        // true completion state.
+                        let snap = progress.snapshot();
+                        if snap.completed != last_reported {
+                            eprintln!("mlam: {}", snap.render());
+                        }
+                        return;
+                    }
+                    let _unused = wake
+                        .wait_timeout(stopped, period)
+                        .expect("stop flag poisoned");
+                }
+            })
+            .expect("spawn progress reporter");
+        ProgressReporter {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// Stops the reporter and waits for its final line.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let (flag, wake) = &*self.stop;
+        *flag.lock().expect("stop flag poisoned") = true;
+        wake.notify_all();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ProgressReporter {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_are_monotone_and_snapshot_consistent() {
+        let p = Progress::new(4);
+        assert_eq!(p.completed(), 0);
+        assert_eq!(p.total(), 4);
+        assert_eq!(p.snapshot().eta_s, None, "no rate before a completion");
+        p.complete_one();
+        p.complete_one();
+        let snap = p.snapshot();
+        assert_eq!(snap.completed, 2);
+        assert_eq!(snap.total, 4);
+        assert!(snap.rate_per_s > 0.0);
+        assert!(snap.eta_s.is_some());
+        p.add_total(2);
+        assert_eq!(p.total(), 6);
+    }
+
+    #[test]
+    fn finished_run_reports_zero_eta() {
+        let p = Progress::new(2);
+        p.complete_one();
+        p.complete_one();
+        assert_eq!(p.snapshot().eta_s, Some(0.0));
+    }
+
+    #[test]
+    fn snapshot_serializes_and_renders() {
+        let snap = ProgressSnapshot {
+            completed: 3,
+            total: 13,
+            elapsed_s: 6.0,
+            rate_per_s: 0.5,
+            eta_s: Some(20.0),
+        };
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: ProgressSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        let line = snap.render();
+        assert!(line.contains("3/13"), "{line}");
+        assert!(line.contains("ETA 20.0s"), "{line}");
+    }
+
+    #[test]
+    fn reporter_writes_stderr_only_and_shuts_down() {
+        let p = Arc::new(Progress::new(1));
+        let reporter = ProgressReporter::start(Arc::clone(&p), Duration::from_millis(5));
+        p.complete_one();
+        std::thread::sleep(Duration::from_millis(20));
+        reporter.shutdown();
+    }
+
+    #[test]
+    fn concurrent_completions_all_land() {
+        let p = Arc::new(Progress::new(100));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let p = Arc::clone(&p);
+                s.spawn(move || {
+                    for _ in 0..25 {
+                        p.complete_one();
+                    }
+                });
+            }
+        });
+        assert_eq!(p.completed(), 100);
+    }
+}

@@ -1,0 +1,192 @@
+//! Background metrics sampler.
+//!
+//! A [`Sampler`] thread takes a [`mlam_telemetry::snapshot`] every
+//! `period` (default 250 ms), diffs it against the previous tick with
+//! [`MetricsSnapshot::counter_deltas_since`], and publishes the latest
+//! snapshot plus per-counter rates into a shared [`SamplerState`].
+//! `/metrics` scrapes read that shared state instead of locking the
+//! telemetry registry, so a scraper hammering the endpoint cannot add
+//! registry lock pressure to the hot path — the registry is only
+//! locked once per tick, off the worker threads.
+//!
+//! The sampler reads the registry and writes monitor-private state; it
+//! never increments anything, so running it cannot change a single
+//! counter in `metrics.jsonl` (the crate-level determinism firewall).
+
+use mlam_telemetry::MetricsSnapshot;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// The default sampling period.
+pub const DEFAULT_PERIOD: Duration = Duration::from_millis(250);
+
+/// The sampler's latest published view.
+#[derive(Clone, Default)]
+pub struct SamplerState {
+    /// The most recent registry snapshot.
+    pub snapshot: MetricsSnapshot,
+    /// Per-counter increment rates over the last tick interval, in
+    /// increments per second (zero-delta counters omitted).
+    pub rates: BTreeMap<String, f64>,
+}
+
+struct Shared {
+    state: Mutex<SamplerState>,
+    ticks: AtomicU64,
+    // Condvar-paired stop flag: shutdown must not wait out a full
+    // sampling period (a 250 ms join tax on every monitored run), so
+    // the thread sleeps in `wait_timeout` and shutdown wakes it.
+    stop: Mutex<bool>,
+    wake: Condvar,
+}
+
+/// Handle to the background sampler thread.
+pub struct Sampler {
+    shared: Arc<Shared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Sampler {
+    /// Starts sampling every `period`. The first tick runs immediately
+    /// so a scrape right after startup already sees real data.
+    pub fn start(period: Duration) -> Sampler {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(SamplerState::default()),
+            ticks: AtomicU64::new(0),
+            stop: Mutex::new(false),
+            wake: Condvar::new(),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("mlam-sampler".into())
+            .spawn(move || {
+                let mut prev = MetricsSnapshot::default();
+                let mut prev_at = Instant::now();
+                loop {
+                    let now = mlam_telemetry::snapshot();
+                    let at = Instant::now();
+                    let interval_s = at.duration_since(prev_at).as_secs_f64();
+                    let rates = if interval_s > 0.0 {
+                        now.counter_deltas_since(&prev)
+                            .into_iter()
+                            .map(|(name, delta)| (name, delta as f64 / interval_s))
+                            .collect()
+                    } else {
+                        BTreeMap::new()
+                    };
+                    prev = now.clone();
+                    prev_at = at;
+                    {
+                        let mut state = thread_shared.state.lock().expect("sampler state poisoned");
+                        state.snapshot = now;
+                        state.rates = rates;
+                    }
+                    thread_shared.ticks.fetch_add(1, Ordering::Relaxed);
+                    let stopped = thread_shared.stop.lock().expect("stop flag poisoned");
+                    if *stopped {
+                        return;
+                    }
+                    // Interruptible sleep: a shutdown notification cuts
+                    // it short, and the loop then runs one final tick
+                    // before the check above returns.
+                    let _unused = thread_shared
+                        .wake
+                        .wait_timeout(stopped, period)
+                        .expect("stop flag poisoned");
+                }
+            })
+            .expect("spawn metrics sampler");
+        Sampler {
+            shared,
+            thread: Some(thread),
+        }
+    }
+
+    /// The latest published state (cloned out from under the lock).
+    pub fn state(&self) -> SamplerState {
+        self.shared
+            .state
+            .lock()
+            .expect("sampler state poisoned")
+            .clone()
+    }
+
+    /// Ticks completed so far.
+    pub fn ticks(&self) -> u64 {
+        self.shared.ticks.load(Ordering::Relaxed)
+    }
+
+    /// Stops the sampler thread. One final tick runs on the way out so
+    /// the last published snapshot reflects end-of-run counter values.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        *self.shared.stop.lock().expect("stop flag poisoned") = true;
+        self.shared.wake.notify_all();
+        if let Some(thread) = self.thread.take() {
+            // The wake cuts any in-progress sleep short; the thread
+            // takes its final snapshot and exits, so the join costs
+            // one tick, not a sampling period.
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlam_telemetry::counter;
+
+    #[test]
+    fn sampler_publishes_snapshots_and_ticks() {
+        let sampler = Sampler::start(Duration::from_millis(5));
+        counter!("test.sampler.seen", 7);
+        // Wait for at least one tick past the increment.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let state = sampler.state();
+            if state
+                .snapshot
+                .counters
+                .get("test.sampler.seen")
+                .is_some_and(|&v| v >= 7)
+            {
+                break;
+            }
+            assert!(Instant::now() < deadline, "sampler never saw the counter");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(sampler.ticks() >= 1);
+        sampler.shutdown();
+    }
+
+    #[test]
+    fn rates_appear_for_active_counters() {
+        let sampler = Sampler::start(Duration::from_millis(5));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            counter!("test.sampler.rate", 50);
+            let state = sampler.state();
+            if state
+                .rates
+                .get("test.sampler.rate")
+                .is_some_and(|&r| r > 0.0)
+            {
+                break;
+            }
+            assert!(Instant::now() < deadline, "rate never surfaced");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        sampler.shutdown();
+    }
+}

@@ -1,0 +1,124 @@
+//! In-flight span tracking: what the run is doing *right now*.
+//!
+//! [`LiveSpanTracker`] is a [`mlam_telemetry::Sink`]: it receives the
+//! same start/end events `events.jsonl` does and keeps a per-name
+//! count of spans that have started but not yet ended. The `/metrics`
+//! endpoint renders those counts as gauges, so a scrape of a stuck run
+//! shows *which* span it is stuck inside.
+//!
+//! The tracker holds plain state behind its own mutex and never
+//! touches the telemetry registry (see the crate-level determinism
+//! firewall). Span events are low-frequency (per experiment / attack
+//! iteration, not per CRP), so the extra sink costs nothing
+//! measurable; it is only installed when monitoring is enabled.
+
+use mlam_telemetry::{Event, EventKind, Sink};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Shared live-span state: `name -> in-flight count`.
+#[derive(Default)]
+pub struct LiveSpans {
+    inflight: Mutex<BTreeMap<String, u64>>,
+}
+
+impl LiveSpans {
+    /// Current in-flight counts by span name (zero entries omitted).
+    pub fn counts(&self) -> BTreeMap<String, u64> {
+        let inflight = self.inflight.lock().expect("live spans poisoned");
+        inflight
+            .iter()
+            .filter(|(_, &n)| n > 0)
+            .map(|(k, &v)| (k.clone(), v))
+            .collect()
+    }
+
+    fn apply(&self, event: &Event) {
+        let mut inflight = self.inflight.lock().expect("live spans poisoned");
+        match event.kind {
+            EventKind::SpanStart => {
+                *inflight.entry(event.name.clone()).or_insert(0) += 1;
+            }
+            EventKind::SpanEnd => {
+                let remove = match inflight.get_mut(&event.name) {
+                    Some(n) => {
+                        *n = n.saturating_sub(1);
+                        *n == 0
+                    }
+                    // An end without a tracked start: the span began
+                    // before the tracker was installed. Ignore.
+                    None => false,
+                };
+                if remove {
+                    inflight.remove(&event.name);
+                }
+            }
+        }
+    }
+}
+
+/// The [`Sink`] half: install with [`mlam_telemetry::add_sink`] and
+/// keep the shared [`LiveSpans`] for reading.
+pub struct LiveSpanTracker {
+    spans: Arc<LiveSpans>,
+}
+
+impl LiveSpanTracker {
+    /// A tracker plus the shared state it feeds.
+    pub fn new() -> (LiveSpanTracker, Arc<LiveSpans>) {
+        let spans = Arc::new(LiveSpans::default());
+        (
+            LiveSpanTracker {
+                spans: Arc::clone(&spans),
+            },
+            spans,
+        )
+    }
+}
+
+impl Sink for LiveSpanTracker {
+    fn record(&mut self, event: &Event) {
+        self.spans.apply(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(kind: EventKind, name: &str, id: u64) -> Event {
+        Event {
+            kind,
+            name: name.to_string(),
+            id,
+            parent_id: None,
+            tid: 1,
+            depth: 0,
+            ts_ns: 0,
+            elapsed_ns: None,
+            attrs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn start_end_pairs_balance() {
+        let (mut tracker, spans) = LiveSpanTracker::new();
+        tracker.record(&event(EventKind::SpanStart, "attack", 1));
+        tracker.record(&event(EventKind::SpanStart, "attack", 2));
+        tracker.record(&event(EventKind::SpanStart, "collect", 3));
+        assert_eq!(spans.counts()["attack"], 2);
+        assert_eq!(spans.counts()["collect"], 1);
+        tracker.record(&event(EventKind::SpanEnd, "attack", 1));
+        assert_eq!(spans.counts()["attack"], 1);
+        tracker.record(&event(EventKind::SpanEnd, "attack", 2));
+        tracker.record(&event(EventKind::SpanEnd, "collect", 3));
+        assert!(spans.counts().is_empty());
+    }
+
+    #[test]
+    fn unmatched_end_is_ignored() {
+        let (mut tracker, spans) = LiveSpanTracker::new();
+        tracker.record(&event(EventKind::SpanEnd, "orphan", 9));
+        assert!(spans.counts().is_empty());
+    }
+}

@@ -1,0 +1,119 @@
+//! End-to-end endpoint test: bind an ephemeral port, scrape the three
+//! routes over a raw `TcpStream`, and validate what comes back. This
+//! is the timing-independent counterpart of the CI monitor-smoke leg.
+
+use mlam_monitor::prometheus;
+use mlam_monitor::{Monitor, Progress, ProgressSnapshot};
+use mlam_telemetry::counter;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One HTTP GET against the monitor; returns (status line, body).
+fn get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to monitor");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("response has a header block");
+    let status = head.lines().next().unwrap_or("").to_string();
+    (status, body.to_string())
+}
+
+#[test]
+fn endpoints_serve_metrics_progress_and_health() {
+    let progress = Arc::new(Progress::new(13));
+    let handle = Monitor::new("127.0.0.1:0")
+        .sample_period(Duration::from_millis(10))
+        .progress(Arc::clone(&progress))
+        .start()
+        .expect("monitor binds an ephemeral port");
+    let addr = handle.addr();
+
+    // Health comes up immediately.
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert_eq!(body, "ok\n");
+
+    // Exercise some telemetry, then wait for the sampler to see it.
+    counter!("test.endpoint.queries", 42);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let text = loop {
+        let (status, body) = get(addr, "/metrics");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        if body.contains("mlam_test_endpoint_queries") {
+            break body;
+        }
+        assert!(Instant::now() < deadline, "sampler never saw the counter");
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    prometheus::validate(&text).expect("exposition must parse");
+    assert!(text.contains("# TYPE mlam_test_endpoint_queries counter"));
+    assert!(text.contains("mlam_monitor_scrapes_total"));
+    assert!(text.contains("mlam_progress_total 13"));
+    assert!(text.contains("mlam_mem_alloc_peak_bytes"));
+
+    // Progress JSON tracks completions and stays monotone.
+    let (_, body) = get(addr, "/progress");
+    let before: ProgressSnapshot = serde_json::from_str(body.trim()).expect("progress JSON");
+    assert_eq!(before.total, 13);
+    progress.complete_one();
+    progress.complete_one();
+    let (_, body) = get(addr, "/progress");
+    let after: ProgressSnapshot = serde_json::from_str(body.trim()).expect("progress JSON");
+    assert!(after.completed >= before.completed + 2);
+    assert!(after.eta_s.is_some(), "ETA exists once something completed");
+
+    // Unknown routes 404; non-GET requests are dropped without a hang.
+    let (status, _) = get(addr, "/nope");
+    assert_eq!(status, "HTTP/1.1 404 Not Found");
+
+    handle.shutdown();
+    // The port is released: connecting now fails (give the OS a beat).
+    std::thread::sleep(Duration::from_millis(50));
+    assert!(
+        TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err(),
+        "listener should be closed after shutdown"
+    );
+}
+
+#[test]
+fn scrapes_are_counted_and_concurrent_scrapes_survive() {
+    let handle = Monitor::new("127.0.0.1:0")
+        .sample_period(Duration::from_millis(10))
+        .start()
+        .expect("monitor binds");
+    let addr = handle.addr();
+    // Hammer the endpoint from several threads; every response must be
+    // a complete, valid exposition.
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(move || {
+                for _ in 0..5 {
+                    let (status, body) = get(addr, "/metrics");
+                    assert_eq!(status, "HTTP/1.1 200 OK");
+                    prometheus::validate(&body).expect("valid under load");
+                }
+            });
+        }
+    });
+    let (_, body) = get(addr, "/metrics");
+    let scrapes: u64 = body
+        .lines()
+        .find_map(|l| l.strip_prefix("mlam_monitor_scrapes_total "))
+        .expect("scrape counter present")
+        .parse()
+        .expect("scrape counter numeric");
+    assert!(scrapes >= 21, "20 hammered + this one, got {scrapes}");
+    handle.shutdown();
+}

@@ -335,8 +335,29 @@ fn registry() -> &'static Registry {
     })
 }
 
+/// Panics unless `name` is a usable metric name: non-empty, printable
+/// ASCII, no whitespace. Enforced at registration so a bad name fails
+/// fast at its introduction site instead of producing a `metrics.jsonl`
+/// line (or a Prometheus exposition line) that downstream parsers
+/// choke on.
+fn validate_metric_name(name: &str) {
+    assert!(!name.is_empty(), "metric name must not be empty");
+    for c in name.chars() {
+        assert!(
+            c.is_ascii() && !c.is_ascii_whitespace() && !c.is_ascii_control(),
+            "metric name {name:?} contains {c:?}: names must be printable ASCII \
+             with no whitespace (newlines would corrupt line-oriented outputs)"
+        );
+    }
+}
+
 /// The counter registered under `name`, creating it on first use.
+///
+/// Panics if `name` is empty or contains whitespace, control
+/// characters, or non-ASCII (see `validate_metric_name` for the
+/// rationale).
 pub fn counter_handle(name: &str) -> Counter {
+    validate_metric_name(name);
     let mut counters = registry()
         .counters
         .lock()
@@ -351,7 +372,10 @@ pub fn counter_handle(name: &str) -> Counter {
 }
 
 /// The histogram registered under `name`, creating it on first use.
+///
+/// Panics on invalid names, same contract as [`counter_handle`].
 pub fn histogram_handle(name: &str) -> Histogram {
+    validate_metric_name(name);
     let mut histograms = registry()
         .histograms
         .lock()
@@ -646,5 +670,121 @@ mod tests {
         let h = histogram_handle("test.metrics.empty");
         assert_eq!(h.snapshot().mean(), None);
         assert!(h.snapshot().buckets.is_empty());
+    }
+
+    #[test]
+    fn valid_names_register() {
+        // The full character classes valid names may use.
+        counter_handle("test.metrics.valid-name_2:ok");
+        histogram_handle("test.metrics.valid.histogram");
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_counter_name_is_rejected() {
+        counter_handle("");
+    }
+
+    #[test]
+    #[should_panic(expected = "no whitespace")]
+    fn whitespace_counter_name_is_rejected() {
+        counter_handle("oracle queries");
+    }
+
+    #[test]
+    #[should_panic(expected = "no whitespace")]
+    fn newline_counter_name_is_rejected() {
+        counter_handle("oracle.queries\ninjected 999");
+    }
+
+    #[test]
+    #[should_panic(expected = "printable ASCII")]
+    fn non_ascii_counter_name_is_rejected() {
+        counter_handle("oracle.requêtes");
+    }
+
+    #[test]
+    #[should_panic(expected = "no whitespace")]
+    fn tab_histogram_name_is_rejected() {
+        histogram_handle("span\tmicros");
+    }
+
+    #[test]
+    #[should_panic(expected = "printable ASCII")]
+    fn control_char_histogram_name_is_rejected() {
+        histogram_handle("span.\u{7}bell");
+    }
+
+    #[test]
+    fn percentile_empty_histogram_is_none() {
+        let empty = HistogramSnapshot::default();
+        assert_eq!(empty.percentile(0.0), None);
+        assert_eq!(empty.percentile(0.5), None);
+        assert_eq!(empty.percentile(1.0), None);
+    }
+
+    #[test]
+    fn percentile_q0_and_q1_hit_the_populated_extremes() {
+        let snap = HistogramSnapshot {
+            count: 3,
+            sum: 1 + 10 + 1000,
+            buckets: vec![(1, 1), (4, 1), (10, 1)],
+        };
+        // q=0 clamps to rank 1: the smallest populated bucket's
+        // inclusive max (bucket 1 holds value 1 → max 1).
+        assert_eq!(snap.percentile(0.0), Some(1));
+        // q=1 is rank 3: bucket 10 holds [512, 1024) → max 1023.
+        assert_eq!(snap.percentile(1.0), Some(1023));
+    }
+
+    #[test]
+    fn percentile_single_bucket_answers_every_quantile() {
+        let snap = HistogramSnapshot {
+            count: 50,
+            sum: 250,
+            buckets: vec![(3, 50)], // all in [4, 8)
+        };
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            assert_eq!(snap.percentile(q), Some(7), "q={q}");
+        }
+    }
+
+    #[test]
+    fn percentile_bucket_boundary_rank_lands_on_lower_bucket() {
+        // 10 observations: exactly 5 in bucket 2 ([2,4)), 5 in bucket 6
+        // ([32,64)). Rank ⌈0.5·10⌉ = 5 is the LAST observation of the
+        // lower bucket, so p50 must answer with the lower bucket's max,
+        // and any q just above 0.5 must tip into the upper bucket.
+        let snap = HistogramSnapshot {
+            count: 10,
+            sum: 5 * 3 + 5 * 40,
+            buckets: vec![(2, 5), (6, 5)],
+        };
+        assert_eq!(snap.percentile(0.5), Some(3));
+        assert_eq!(snap.percentile(0.51), Some(63));
+    }
+
+    #[test]
+    fn counter_deltas_include_counters_born_after_the_baseline() {
+        let earlier = MetricsSnapshot {
+            counters: [("old.counter".to_string(), 5)].into_iter().collect(),
+            histograms: BTreeMap::new(),
+        };
+        let later = MetricsSnapshot {
+            counters: [
+                ("old.counter".to_string(), 9),
+                ("new.counter".to_string(), 3),
+            ]
+            .into_iter()
+            .collect(),
+            histograms: BTreeMap::new(),
+        };
+        let deltas = later.counter_deltas_since(&earlier);
+        assert_eq!(deltas["old.counter"], 4);
+        // A counter absent from the earlier snapshot counts from zero.
+        assert_eq!(deltas["new.counter"], 3);
+        // And the reverse diff drops the vanished counter entirely
+        // (saturating, never underflowing).
+        assert!(earlier.counter_deltas_since(&later).is_empty());
     }
 }

@@ -1,0 +1,207 @@
+//! `mlam-trace bench-history` — one table over every checked-in
+//! `BENCH_<n>.json`.
+//!
+//! Each PR's benchmark lands as a new `BENCH_<n>.json` at the repo
+//! root, and the schemas deliberately differ: the perf-trajectory
+//! record is a bare array of per-experiment entries, while the sweep
+//! benchmarks are objects with a `benchmark` description and their own
+//! result shapes. This module reads them all generically, orders them
+//! by index (the index is the PR sequence — the only time axis the
+//! files carry), and summarizes each into one row, so the perf
+//! trajectory of the repo is visible without opening five files with
+//! five shapes.
+
+use serde_json::Value;
+use std::path::Path;
+
+/// One `BENCH_<n>.json`, summarized.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistoryRow {
+    /// The `<n>` in the file name — the PR-sequence time axis.
+    pub index: u64,
+    /// The file's name (no directory).
+    pub file: String,
+    /// What the file measures: the object schema's `benchmark` field,
+    /// or a synthesized description for the array schema.
+    pub benchmark: String,
+    /// The row's headline numbers, schema-dependent.
+    pub headline: String,
+}
+
+/// Looks up a key in an object `Value`.
+fn field<'a>(value: &'a Value, key: &str) -> Option<&'a Value> {
+    match value {
+        Value::Map(pairs) => pairs
+            .iter()
+            .find(|(k, _)| k.as_str() == key)
+            .map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn as_f64(value: &Value) -> Option<f64> {
+    match value {
+        Value::U64(v) => Some(*v as f64),
+        Value::I64(v) => Some(*v as f64),
+        Value::F64(v) => Some(*v),
+        _ => None,
+    }
+}
+
+/// Summarizes the array schema (`mlam-trace bench` output): total
+/// wall-clock and adversary budget across the per-experiment entries.
+fn summarize_entries(entries: &[Value]) -> (String, String) {
+    let sum = |key: &str| -> f64 {
+        entries
+            .iter()
+            .filter_map(|e| field(e, key).and_then(as_f64))
+            .sum()
+    };
+    (
+        "per-experiment perf trajectory (mlam-trace bench)".to_string(),
+        format!(
+            "{} experiments · {:.2}s wall · {} queries · {} sat conflicts",
+            entries.len(),
+            sum("wall_ns") / 1e9,
+            sum("queries") as u64,
+            sum("sat_conflicts") as u64,
+        ),
+    )
+}
+
+/// Summarizes the object schema: the `benchmark` description plus
+/// whichever headline fields the shape carries (`rows`/`results`
+/// length, `overhead_pct`, `trials`).
+fn summarize_object(value: &Value) -> (String, String) {
+    let benchmark = match field(value, "benchmark") {
+        Some(Value::Str(s)) => s.clone(),
+        _ => "(no benchmark field)".to_string(),
+    };
+    let mut parts = Vec::new();
+    for key in ["rows", "results"] {
+        if let Some(Value::Seq(items)) = field(value, key) {
+            parts.push(format!("{} {key}", items.len()));
+        }
+    }
+    for key in ["trials", "overhead_pct"] {
+        if let Some(v) = field(value, key).and_then(as_f64) {
+            parts.push(format!("{key} {v:.4}"));
+        }
+    }
+    if let Some(Value::Str(seed)) = field(value, "seed") {
+        parts.push(format!("seed {seed}"));
+    }
+    (benchmark, parts.join(" · "))
+}
+
+/// Reads every `BENCH_<n>.json` under `dir`, index-ordered. Files that
+/// do not match the name pattern are ignored; a matching file that
+/// fails to parse is an error (a corrupt checked-in benchmark should
+/// fail loudly, not vanish from the table).
+pub fn collect(dir: &Path) -> Result<Vec<HistoryRow>, String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut rows = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+        let file = entry.file_name().to_string_lossy().into_owned();
+        let Some(index) = file
+            .strip_prefix("BENCH_")
+            .and_then(|rest| rest.strip_suffix(".json"))
+            .and_then(|n| n.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        let text = std::fs::read_to_string(entry.path())
+            .map_err(|e| format!("cannot read {file}: {e}"))?;
+        let value: Value =
+            serde_json::from_str(&text).map_err(|e| format!("cannot parse {file}: {e}"))?;
+        let (benchmark, headline) = match &value {
+            Value::Seq(entries) => summarize_entries(entries),
+            _ => summarize_object(&value),
+        };
+        rows.push(HistoryRow {
+            index,
+            file,
+            benchmark,
+            headline,
+        });
+    }
+    rows.sort_by_key(|row| row.index);
+    Ok(rows)
+}
+
+/// Renders the rows as the time-ordered table the CLI prints.
+pub fn render(rows: &[HistoryRow]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        out.push_str(&format!(
+            "{:<14} {}\n{:<14} {}\n",
+            row.file, row.benchmark, "", row.headline
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mlam_hist_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn collect_orders_by_index_and_handles_both_schemas() {
+        let dir = scratch("both");
+        // Object schema with rows, out of lexicographic order with the
+        // array file (index 10 sorts after 2 numerically, before it
+        // lexicographically).
+        std::fs::write(
+            dir.join("BENCH_10.json"),
+            r#"{"benchmark":"fault sweep","seed":"0x7","trials":3,"rows":[{},{}],"overhead_pct":1.25}"#,
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("BENCH_2.json"),
+            r#"[{"name":"table1","wall_ns":1500000000,"queries":2000,"sat_conflicts":7},
+                {"name":"locking","wall_ns":500000000,"queries":30,"sat_conflicts":420}]"#,
+        )
+        .unwrap();
+        // Not part of the history: ignored.
+        std::fs::write(dir.join("BENCH_notes.json"), "{}").unwrap();
+        std::fs::write(dir.join("manifest.json"), "{}").unwrap();
+
+        let rows = collect(&dir).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].index, 2);
+        assert_eq!(rows[1].index, 10);
+        assert!(rows[0].headline.contains("2 experiments"), "{rows:?}");
+        assert!(rows[0].headline.contains("2.00s wall"), "{rows:?}");
+        assert!(rows[0].headline.contains("2030 queries"), "{rows:?}");
+        assert!(rows[0].headline.contains("427 sat conflicts"), "{rows:?}");
+        assert_eq!(rows[1].benchmark, "fault sweep");
+        assert!(rows[1].headline.contains("2 rows"), "{rows:?}");
+        assert!(rows[1].headline.contains("overhead_pct 1.2500"), "{rows:?}");
+        assert!(rows[1].headline.contains("seed 0x7"), "{rows:?}");
+
+        let table = render(&rows);
+        let first = table.find("BENCH_2.json").unwrap();
+        let second = table.find("BENCH_10.json").unwrap();
+        assert!(first < second, "table must be index-ordered:\n{table}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_benchmark_files_fail_loudly() {
+        let dir = scratch("corrupt");
+        std::fs::write(dir.join("BENCH_3.json"), "{not json").unwrap();
+        let err = collect(&dir).unwrap_err();
+        assert!(err.contains("BENCH_3.json"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -5,8 +5,9 @@
 //! mlam-trace profile <run-dir>
 //! mlam-trace compare <baseline-dir> <current-dir>
 //!                    [--threshold 0.2] [--min-wall-ms 100] [--warn-only]
-//!                    [--ignore-counter <prefix>]...
+//!                    [--ignore-counter <prefix>]... [--json]
 //! mlam-trace bench   <run-dir> [-o BENCH.json]
+//! mlam-trace bench-history [<dir>]
 //! ```
 //!
 //! Exit codes: `0` clean, `1` wall-clock regression beyond the
@@ -14,7 +15,7 @@
 //! drift or structural mismatch (never suppressed), `64` usage or I/O
 //! error.
 
-use mlam_trace::{bench_json, chrome, compare, profile, RunData};
+use mlam_trace::{bench_history, bench_json, chrome, compare, profile, RunData};
 use std::path::PathBuf;
 
 const EXIT_OK: i32 = 0;
@@ -35,7 +36,7 @@ USAGE:
 
     mlam-trace compare <baseline-dir> <current-dir>
                [--threshold <ratio>] [--min-wall-ms <ms>] [--warn-only]
-               [--ignore-counter <prefix>]...
+               [--ignore-counter <prefix>]... [--json]
         Diff two runs. Correctness counters must be bit-identical
         (exit 2 on drift, never suppressed); wall-clock regressions
         beyond the threshold (default 0.2 = +20%, noise floor
@@ -44,10 +45,18 @@ USAGE:
         starts with the prefix from the drift check — for deliberate
         A/B runs whose path-attribution counters differ by design
         (e.g. puf.batch. between the scalar and bit-sliced CRP paths).
+        --json replaces the table with a machine-readable payload
+        (verdict, per-counter deltas, wall rows) whose exit_code field
+        mirrors the process exit code.
 
     mlam-trace bench   <run-dir> [-o <BENCH.json>]
         Emit the perf-trajectory record: per experiment
         {name, wall_ns, queries, sat_conflicts}. Default: stdout.
+
+    mlam-trace bench-history [<dir>]
+        Merge every BENCH_<n>.json under <dir> (default: .) into one
+        index-ordered table — the repo's perf trajectory across PRs,
+        whatever schema each benchmark used.
 ";
 
 fn main() {
@@ -61,6 +70,7 @@ fn real_main() -> i32 {
         Some("profile") => cmd_profile(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("bench-history") => cmd_bench_history(&args[1..]),
         Some("--help" | "-h" | "help") => {
             print!("{USAGE}");
             EXIT_OK
@@ -85,6 +95,7 @@ struct Parsed {
     min_wall_ms: u64,
     warn_only: bool,
     ignore_counters: Vec<String>,
+    json: bool,
 }
 
 fn parse(args: &[String], allow_compare_flags: bool) -> Result<Parsed, String> {
@@ -95,6 +106,7 @@ fn parse(args: &[String], allow_compare_flags: bool) -> Result<Parsed, String> {
         min_wall_ms: 100,
         warn_only: false,
         ignore_counters: Vec::new(),
+        json: false,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -116,6 +128,7 @@ fn parse(args: &[String], allow_compare_flags: bool) -> Result<Parsed, String> {
                     .map_err(|e| format!("bad --min-wall-ms '{value}': {e}"))?;
             }
             "--warn-only" if allow_compare_flags => parsed.warn_only = true,
+            "--json" if allow_compare_flags => parsed.json = true,
             "--ignore-counter" if allow_compare_flags => {
                 let value = iter.next().ok_or("missing value for --ignore-counter")?;
                 parsed.ignore_counters.push(value.clone());
@@ -210,22 +223,60 @@ fn cmd_compare(args: &[String]) -> i32 {
     };
     let mut report = compare::compare(base_manifest, cur_manifest, &options);
     report.span_notes = compare::span_movers(&baseline.histograms, &current.histograms, &options);
-    print!("{}", report.render());
-    if report.has_counter_drift() {
-        eprintln!("mlam-trace: counter drift — the runs differ behaviorally, not just in speed");
-        return EXIT_COUNTER_DRIFT;
-    }
-    if report.has_wall_regression() {
-        if parsed.warn_only {
-            eprintln!("mlam-trace: wall-clock regression (suppressed by --warn-only)");
-            return EXIT_OK;
+    // The machine verdict is authoritative for the exit code in both
+    // output modes; the stderr notes stay on for scripts that only
+    // capture stdout.
+    let machine = report.machine(parsed.warn_only);
+    debug_assert!(matches!(
+        machine.exit_code,
+        EXIT_OK | EXIT_WALL_REGRESSION | EXIT_COUNTER_DRIFT
+    ));
+    if parsed.json {
+        match serde_json::to_string_pretty(&machine) {
+            Ok(json) => println!("{json}"),
+            Err(e) => return usage_error(e),
         }
-        eprintln!(
-            "mlam-trace: wall-clock regression beyond +{:.0}%",
-            options.threshold * 100.0
-        );
-        return EXIT_WALL_REGRESSION;
+    } else {
+        print!("{}", report.render());
     }
+    match machine.verdict.as_str() {
+        "counter-drift" => {
+            eprintln!(
+                "mlam-trace: counter drift — the runs differ behaviorally, not just in speed"
+            );
+        }
+        "wall-regression" if parsed.warn_only => {
+            eprintln!("mlam-trace: wall-clock regression (suppressed by --warn-only)");
+        }
+        "wall-regression" => {
+            eprintln!(
+                "mlam-trace: wall-clock regression beyond +{:.0}%",
+                options.threshold * 100.0
+            );
+        }
+        _ => {}
+    }
+    machine.exit_code
+}
+
+fn cmd_bench_history(args: &[String]) -> i32 {
+    let parsed = match parse(args, false) {
+        Ok(p) => p,
+        Err(e) => return usage_error(e),
+    };
+    let dir = match parsed.positionals.as_slice() {
+        [] => PathBuf::from("."),
+        [dir] => PathBuf::from(dir),
+        _ => return usage_error("bench-history takes at most one directory"),
+    };
+    let rows = match bench_history::collect(&dir) {
+        Ok(rows) => rows,
+        Err(e) => return usage_error(e),
+    };
+    if rows.is_empty() {
+        return usage_error(format!("no BENCH_<n>.json files under {}", dir.display()));
+    }
+    print!("{}", bench_history::render(&rows));
     EXIT_OK
 }
 

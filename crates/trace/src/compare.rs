@@ -9,6 +9,7 @@
 //! don't flap on scheduler jitter.
 
 use mlam_telemetry::{HistogramSnapshot, RunManifest};
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 
@@ -45,7 +46,7 @@ impl CompareOptions {
 }
 
 /// A counter whose value differs between the runs (0 = absent).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CounterDrift {
     /// Experiment the counter belongs to.
     pub experiment: String,
@@ -58,7 +59,7 @@ pub struct CounterDrift {
 }
 
 /// Wall-clock for one experiment in both runs.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct WallDelta {
     /// Experiment name (`"(total)"` for the whole-run row).
     pub name: String,
@@ -154,6 +155,58 @@ impl CompareReport {
             let _ = writeln!(out, "span: {note}");
         }
         out
+    }
+}
+
+/// The `mlam-trace compare --json` payload: everything the text
+/// rendering says, machine-readable. `exit_code` mirrors the process
+/// exit code (including the `--warn-only` downgrade), so a harness
+/// that captured stdout but lost the status can still act on the
+/// verdict — and a mismatch between the two is a bug, not a judgment
+/// call.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MachineReport {
+    /// `"clean"`, `"wall-regression"` or `"counter-drift"` (counter
+    /// drift wins when both apply — it is the harder failure).
+    pub verdict: String,
+    /// The process exit code: 0 clean (or `--warn-only` wall
+    /// regression), 1 wall regression, 2 counter drift.
+    pub exit_code: i32,
+    /// Whether `--warn-only` downgraded a wall regression to exit 0.
+    pub warn_only: bool,
+    /// Per-experiment wall-clock deltas, baseline order, then a
+    /// `"(total)"` row.
+    pub wall: Vec<WallDelta>,
+    /// Per-counter drift (empty on clean runs).
+    pub drift: Vec<CounterDrift>,
+    /// Structural mismatches (seed, parameter set, experiment list).
+    pub structure: Vec<String>,
+    /// Informational span-latency movers.
+    pub span_notes: Vec<String>,
+}
+
+impl CompareReport {
+    /// Builds the machine-readable verdict for this report. The exit
+    /// codes match the `mlam-trace` binary's contract: 2 for counter
+    /// drift (never suppressed), 1 for a wall regression (0 under
+    /// `warn_only`), 0 otherwise.
+    pub fn machine(&self, warn_only: bool) -> MachineReport {
+        let (verdict, exit_code) = if self.has_counter_drift() {
+            ("counter-drift", 2)
+        } else if self.has_wall_regression() {
+            ("wall-regression", if warn_only { 0 } else { 1 })
+        } else {
+            ("clean", 0)
+        };
+        MachineReport {
+            verdict: verdict.to_string(),
+            exit_code,
+            warn_only,
+            wall: self.wall.clone(),
+            drift: self.drift.clone(),
+            structure: self.structure.clone(),
+            span_notes: self.span_notes.clone(),
+        }
     }
 }
 
@@ -451,6 +504,46 @@ mod tests {
         let report = compare(&a2, &b, &CompareOptions::default());
         assert!(!report.has_counter_drift());
         assert!(report.render().contains("[degraded]"));
+    }
+
+    #[test]
+    fn machine_report_mirrors_the_exit_code_contract() {
+        let base = manifest(7, &[("table1", 1.0, &[("oracle.example_queries", 2000)])]);
+
+        let clean = compare(&base, &base, &CompareOptions::default()).machine(false);
+        assert_eq!((clean.verdict.as_str(), clean.exit_code), ("clean", 0));
+
+        let slow = manifest(7, &[("table1", 3.0, &[("oracle.example_queries", 2000)])]);
+        let report = compare(&base, &slow, &CompareOptions::default());
+        let wall = report.machine(false);
+        assert_eq!(
+            (wall.verdict.as_str(), wall.exit_code),
+            ("wall-regression", 1)
+        );
+        // --warn-only changes the exit code but not the verdict.
+        let warned = report.machine(true);
+        assert_eq!(
+            (warned.verdict.as_str(), warned.exit_code),
+            ("wall-regression", 0)
+        );
+        assert!(warned.warn_only);
+
+        // Counter drift wins over a simultaneous wall regression and
+        // is never downgraded.
+        let drift = manifest(7, &[("table1", 3.0, &[("oracle.example_queries", 1999)])]);
+        let machine = compare(&base, &drift, &CompareOptions::default()).machine(true);
+        assert_eq!(
+            (machine.verdict.as_str(), machine.exit_code),
+            ("counter-drift", 2)
+        );
+        assert_eq!(machine.drift.len(), 1);
+
+        // The payload round-trips through JSON.
+        let json = serde_json::to_string_pretty(&machine).unwrap();
+        let back: MachineReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.verdict, machine.verdict);
+        assert_eq!(back.exit_code, machine.exit_code);
+        assert_eq!(back.wall.len(), machine.wall.len());
     }
 
     #[test]

@@ -17,10 +17,13 @@
 //!   counters (oracle queries, SAT conflicts) for same-seed runs;
 //! - [`bench_json`] — the `BENCH_*.json` perf-trajectory records CI
 //!   publishes (`{name, wall_ns, queries, sat_conflicts}` per
-//!   experiment).
+//!   experiment);
+//! - [`bench_history`] — one index-ordered table over every checked-in
+//!   `BENCH_<n>.json`, whatever its schema.
 
 #![warn(missing_docs)]
 
+pub mod bench_history;
 pub mod bench_json;
 pub mod chrome;
 pub mod compare;

@@ -183,6 +183,98 @@ fn bench_subcommand_emits_the_trajectory_schema() {
 }
 
 #[test]
+fn compare_json_mirrors_the_exit_code_in_the_payload() {
+    let base_dir = std::env::temp_dir().join(format!("mlam_compare_json_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base_dir);
+    let baseline = base_dir.join("baseline");
+    write_run(&baseline, &quick_manifest(1.0, 0));
+
+    let parse = |stdout: &str| -> mlam_trace::compare::MachineReport {
+        serde_json::from_str(stdout).expect("--json emits a parseable payload")
+    };
+
+    // Clean: verdict + exit_code 0, and no human-readable table.
+    let same = base_dir.join("same");
+    write_run(&same, &quick_manifest(1.05, 0));
+    let (code, stdout, _) = run_compare(&baseline, &same, &["--json"]);
+    assert_eq!(code, 0, "{stdout}");
+    let report = parse(&stdout);
+    assert_eq!(report.verdict, "clean");
+    assert_eq!(report.exit_code, 0);
+    assert!(report.drift.is_empty());
+    // Two experiments plus the "(total)" row.
+    assert_eq!(report.wall.len(), 3);
+    assert!(!stdout.contains("experiment "), "no table in --json mode");
+
+    // Counter drift: exit 2 mirrored, per-counter deltas present.
+    let drift = base_dir.join("drift");
+    write_run(&drift, &quick_manifest(1.0, 1));
+    let (code, stdout, _) = run_compare(&baseline, &drift, &["--json"]);
+    assert_eq!(code, 2, "{stdout}");
+    let report = parse(&stdout);
+    assert_eq!(report.verdict, "counter-drift");
+    assert_eq!(report.exit_code, 2);
+    assert_eq!(report.drift.len(), 2, "one drifting counter per experiment");
+    assert_eq!(report.drift[0].counter, "oracle.example_queries");
+    assert_eq!(report.drift[0].baseline + 1, report.drift[0].current);
+
+    // --warn-only: the process exits 0 and the payload says so, while
+    // the verdict still names the wall regression.
+    let slow = base_dir.join("slow");
+    write_run(&slow, &quick_manifest(3.0, 0));
+    let (code, stdout, _) = run_compare(&baseline, &slow, &["--json", "--warn-only"]);
+    assert_eq!(code, 0, "{stdout}");
+    let report = parse(&stdout);
+    assert_eq!(report.verdict, "wall-regression");
+    assert_eq!(report.exit_code, 0);
+    assert!(report.warn_only);
+
+    let _ = std::fs::remove_dir_all(&base_dir);
+}
+
+#[test]
+fn bench_history_merges_checked_in_benchmarks_into_one_table() {
+    let base_dir = std::env::temp_dir().join(format!("mlam_hist_cli_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base_dir);
+    std::fs::create_dir_all(&base_dir).unwrap();
+    std::fs::write(
+        base_dir.join("BENCH_2.json"),
+        r#"[{"name":"table1","wall_ns":1000000000,"queries":2000,"sat_conflicts":7}]"#,
+    )
+    .unwrap();
+    std::fs::write(
+        base_dir.join("BENCH_6.json"),
+        r#"{"benchmark":"monitor overhead","trials":3,"results":[{},{}],"overhead_pct":0.8}"#,
+    )
+    .unwrap();
+
+    let output = Command::new(env!("CARGO_BIN_EXE_mlam-trace"))
+        .arg("bench-history")
+        .arg(&base_dir)
+        .output()
+        .expect("spawn mlam-trace");
+    assert_eq!(output.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let first = stdout.find("BENCH_2.json").expect("array row present");
+    let second = stdout.find("BENCH_6.json").expect("object row present");
+    assert!(first < second, "rows must be index-ordered:\n{stdout}");
+    assert!(stdout.contains("1 experiments"), "{stdout}");
+    assert!(stdout.contains("monitor overhead"), "{stdout}");
+
+    // An empty directory is a usage error, not an empty table.
+    let empty = base_dir.join("empty");
+    std::fs::create_dir_all(&empty).unwrap();
+    let output = Command::new(env!("CARGO_BIN_EXE_mlam-trace"))
+        .arg("bench-history")
+        .arg(&empty)
+        .output()
+        .expect("spawn mlam-trace");
+    assert_eq!(output.status.code(), Some(64));
+
+    let _ = std::fs::remove_dir_all(&base_dir);
+}
+
+#[test]
 fn unknown_subcommand_is_a_usage_error() {
     let output = Command::new(env!("CARGO_BIN_EXE_mlam-trace"))
         .arg("frobnicate")

@@ -1,9 +1,22 @@
 //! Regenerates Table II (Chow-parameter LTF accuracy plateau).
 //!
-//! Usage: `cargo run --release -p mlam-bench --bin table2 [--quick] [--json <dir>]`
+//! Usage: `cargo run --release -p mlam-bench --bin table2 [--quick]
+//! [--json <dir>] [--force] [--monitor <addr>] [--progress]`
+//!
+//! `--monitor <addr>` serves `/metrics`, `/progress`, `/curves` and
+//! `/healthz` for the duration of the run; `--progress` prints
+//! progress/ETA lines to stderr. Under `--json` or `--monitor` the
+//! learner emits accuracy-vs-queries checkpoints (`curves.jsonl`,
+//! live on `/curves`). None of it perturbs results. See
+//! OBSERVABILITY.md.
 
 use mlam::experiments::{run_table2, Table2Params};
 use mlam_bench::{parse_cli, Session};
+
+// Heap gauges on /metrics need the tracking allocator installed at
+// link time; accounting stays off unless MLAM_TRACK_ALLOC=1 opts in.
+#[global_allocator]
+static ALLOC: mlam_monitor::alloc::TrackingAlloc = mlam_monitor::alloc::TrackingAlloc;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -18,11 +18,12 @@
 
 use mlam::experiments::checkpoint::CheckpointState;
 use mlam::report::Table;
+use mlam::telemetry::curves::{self, CurveRecorder, CurveSink, CURVES_FILE};
 use mlam::telemetry::{self, ExperimentRecord, RunManifest};
-use mlam_monitor::{Monitor, MonitorHandle, Progress, ProgressReporter};
+use mlam_monitor::{LiveCurves, Monitor, MonitorHandle, Progress, ProgressReporter};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::panic::AssertUnwindSafe;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -123,6 +124,15 @@ pub struct Session {
     progress: Option<Arc<Progress>>,
     monitor: Option<MonitorHandle>,
     reporter: Option<ProgressReporter>,
+    // Learning-curve recording (on whenever a run directory or the
+    // monitor is active, off via MLAM_CURVES=0): checkpoints fan out
+    // to these sinks from the experiment's own thread, the recorder
+    // becomes curves.jsonl at finish(). Like the monitor state, none
+    // of this touches the telemetry registry.
+    curve_sinks: Option<Arc<Vec<Arc<dyn CurveSink>>>>,
+    curve_recorder: Option<Arc<CurveRecorder>>,
+    /// Series recorded fresh this session (vs. restored on resume).
+    curve_fresh: BTreeSet<String>,
 }
 
 impl Session {
@@ -195,10 +205,33 @@ impl Session {
             // its global allocator (repro_all and fault_sweep do).
             mlam_monitor::alloc::enable();
         }
+        // Learning curves ride along whenever there is somewhere for
+        // them to go: a run directory (curves.jsonl) or a monitor
+        // (/curves). MLAM_CURVES=0 switches recording off for overhead
+        // A/B measurements (curve_overhead bench).
+        let curves_enabled = (run_dir.is_some() || options.monitor.is_some())
+            && !matches!(std::env::var("MLAM_CURVES"), Ok(v) if v == "0");
+        let curve_recorder =
+            (curves_enabled && run_dir.is_some()).then(|| Arc::new(CurveRecorder::new()));
+        let live_curves =
+            (curves_enabled && options.monitor.is_some()).then(|| Arc::new(LiveCurves::new()));
+        let curve_sinks = {
+            let mut sinks: Vec<Arc<dyn CurveSink>> = Vec::new();
+            if let Some(recorder) = &curve_recorder {
+                sinks.push(Arc::clone(recorder) as Arc<dyn CurveSink>);
+            }
+            if let Some(live) = &live_curves {
+                sinks.push(Arc::clone(live) as Arc<dyn CurveSink>);
+            }
+            (!sinks.is_empty()).then(|| Arc::new(sinks))
+        };
         let monitor = options.monitor.as_ref().map(|addr| {
             let mut config = Monitor::new(addr);
             if let Some(progress) = &progress {
                 config = config.progress(Arc::clone(progress));
+            }
+            if let Some(live) = &live_curves {
+                config = config.curves(Arc::clone(live));
             }
             let handle = config
                 .start()
@@ -222,6 +255,9 @@ impl Session {
             progress,
             monitor,
             reporter,
+            curve_sinks,
+            curve_recorder,
+            curve_fresh: BTreeSet::new(),
         }
     }
 
@@ -265,10 +301,17 @@ impl Session {
         if let Some(progress) = &self.progress {
             progress.add_total(1);
         }
+        if self.curve_sinks.is_some() {
+            self.curve_fresh.insert(name.to_string());
+        }
         let scope = telemetry::CounterScope::new();
         let started = Instant::now();
         let value = {
             let _guard = scope.enter();
+            let _curves = self
+                .curve_sinks
+                .as_ref()
+                .map(|sinks| curves::enter_series(name, Arc::clone(sinks)));
             driver()
         };
         let seconds = started.elapsed().as_secs_f64();
@@ -382,6 +425,9 @@ impl Session {
                 Some(CheckpointState::Missing) | None => {}
             }
             slots.push(Slot::Fresh);
+            if self.curve_sinks.is_some() {
+                self.curve_fresh.insert(spec.name().to_string());
+            }
             // Workers carry their own store/progress handles so each
             // experiment checkpoints (and counts complete) the moment
             // it finishes, not when the whole batch drains: a mid-run
@@ -389,10 +435,10 @@ impl Session {
             // checkpoint files already on disk.
             let store = self.store.clone();
             let progress = self.progress.clone();
-            tasks.push(
-                Box::new(move || run_spec(spec, root, quick, index, store, progress))
-                    as Box<dyn FnOnce() -> BatchOutcome + Send>,
-            );
+            let curve_sinks = self.curve_sinks.clone();
+            tasks.push(Box::new(move || {
+                run_spec(spec, root, quick, index, store, progress, curve_sinks)
+            }) as Box<dyn FnOnce() -> BatchOutcome + Send>);
         }
         let mut fresh = mlam_par::par_run(tasks).into_iter();
         let mut failures = Vec::new();
@@ -463,6 +509,28 @@ impl Session {
                 .unwrap_or_else(|e| panic!("{e}"));
             telemetry::write_metrics_jsonl(file, &self.manifest.final_metrics)
                 .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+            if let Some(recorder) = &self.curve_recorder {
+                // Resume merge, mirroring the checkpoint semantics:
+                // series restored from complete checkpoints keep their
+                // recorded curves, re-run series are replaced with this
+                // session's points — the merged file matches what a
+                // straight-through run would have written.
+                let curves_path = dir.file(CURVES_FILE);
+                let mut series = if self.resuming && curves_path.is_file() {
+                    let mut loaded =
+                        curves::read_curves_jsonl(&curves_path).unwrap_or_else(|e| panic!("{e}"));
+                    loaded.retain(|name, _| !self.curve_fresh.contains(name));
+                    loaded
+                } else {
+                    BTreeMap::new()
+                };
+                series.append(&mut recorder.series());
+                let file = dir
+                    .create_file(CURVES_FILE)
+                    .unwrap_or_else(|e| panic!("{e}"));
+                curves::write_curves_jsonl(file, &series)
+                    .unwrap_or_else(|e| panic!("cannot write {}: {e}", curves_path.display()));
+            }
         }
         if let Some(reporter) = self.reporter.take() {
             reporter.shutdown();
@@ -538,12 +606,19 @@ fn run_spec(
     index: usize,
     store: Option<CheckpointStore>,
     progress: Option<Arc<Progress>>,
+    curve_sinks: Option<Arc<Vec<Arc<dyn CurveSink>>>>,
 ) -> BatchOutcome {
     let name = spec.name;
     let scope = telemetry::CounterScope::new();
     let started = Instant::now();
     let result = {
         let _guard = scope.enter();
+        // The curve context lives on the worker thread running the
+        // driver, exactly where the counter scope lives — checkpoints
+        // read this experiment's own query totals and nothing else.
+        let _curves = curve_sinks
+            .as_ref()
+            .map(|sinks| curves::enter_series(name, Arc::clone(sinks)));
         let run = spec.run;
         std::panic::catch_unwind(AssertUnwindSafe(move || {
             let mut rng = StdRng::seed_from_u64(mlam_par::split_seed(root, index as u64));
@@ -934,6 +1009,80 @@ mod tests {
         assert!(record.degraded);
         assert!(record.tables.is_empty());
         assert!(!record.resumable(manifest.seed, true));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_records_curves_into_curves_jsonl() {
+        let dir = std::env::temp_dir().join(format!("mlam_session_curves_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let options = CliOptions {
+            quick: true,
+            json_dir: Some(dir.clone()),
+            ..CliOptions::default()
+        };
+        let mut session = Session::start("test-curves", &options);
+        let failures = session.run_batch(vec![ExperimentSpec::new("curve_x", |_| {
+            telemetry::counter!("oracle.example_queries", 10);
+            curves::checkpoint("demo", 1, 0.5, None);
+            telemetry::counter!("oracle.example_queries", 22);
+            curves::checkpoint("demo", 2, 0.75, None);
+            Vec::new()
+        })]);
+        assert!(failures.is_empty());
+        session.finish();
+        let series = curves::read_curves_jsonl(&dir.join(CURVES_FILE)).unwrap();
+        let points = &series["curve_x"];
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].queries, 10);
+        assert_eq!(points[1].queries, 32);
+        assert_eq!(points[1].train_acc, 0.75);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resumed_runs_merge_curves_for_skipped_experiments() {
+        let dir =
+            std::env::temp_dir().join(format!("mlam_session_curves_resume_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let options = CliOptions {
+            quick: true,
+            json_dir: Some(dir.clone()),
+            ..CliOptions::default()
+        };
+        let specs = || {
+            vec![
+                ExperimentSpec::new("curve_keep", |_| {
+                    telemetry::counter!("oracle.example_queries", 4);
+                    curves::checkpoint("demo", 1, 0.25, None);
+                    Vec::new()
+                }),
+                ExperimentSpec::new("curve_redo", |_| {
+                    telemetry::counter!("oracle.example_queries", 8);
+                    curves::checkpoint("demo", 1, 0.5, None);
+                    Vec::new()
+                }),
+            ]
+        };
+        let mut first = Session::start("test-curves-resume", &options);
+        assert!(first.run_batch(specs()).is_empty());
+        first.finish();
+        let full = std::fs::read(dir.join(CURVES_FILE)).unwrap();
+
+        // Kill after curve_keep: curve_redo re-runs, curve_keep's curve
+        // must survive from the previous curves.jsonl.
+        std::fs::remove_file(dir.join("curve_redo.json")).unwrap();
+        std::fs::remove_file(dir.join("manifest.json")).unwrap();
+        let resumed_options = CliOptions {
+            quick: true,
+            resume: Some(dir.clone()),
+            ..CliOptions::default()
+        };
+        let mut second = Session::start("test-curves-resume", &resumed_options);
+        assert!(second.run_batch(specs()).is_empty());
+        second.finish();
+        let merged = std::fs::read(dir.join(CURVES_FILE)).unwrap();
+        assert_eq!(merged, full, "resume must reproduce curves.jsonl");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -72,6 +72,10 @@ fn split_metrics(bytes: &[u8]) -> (Vec<String>, Vec<String>) {
 fn monitored_run_is_byte_identical_to_plain_run() {
     let base = std::env::temp_dir().join(format!("mlam_monitor_det_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&base);
+    // curves.jsonl is part of the same contract, across *all four*
+    // runs at once: thread count and monitoring must both be invisible
+    // to the recorded learning curves.
+    let mut reference_curves: Option<Vec<u8>> = None;
     for threads in ["1", "4"] {
         let plain_dir = base.join(format!("plain_t{threads}"));
         let monitored_dir = base.join(format!("monitored_t{threads}"));
@@ -97,6 +101,21 @@ fn monitored_run_is_byte_identical_to_plain_run() {
             "the set of span timing histograms must not change with monitoring \
              at MLAM_THREADS={threads}"
         );
+        for dir in [&plain_dir, &monitored_dir] {
+            let curves = std::fs::read(dir.join("curves.jsonl"))
+                .unwrap_or_else(|e| panic!("curves.jsonl in {}: {e}", dir.display()));
+            assert!(!curves.is_empty(), "curves.jsonl must not be empty");
+            match &reference_curves {
+                Some(reference) => assert_eq!(
+                    &curves,
+                    reference,
+                    "curves.jsonl must be byte-identical across thread counts and \
+                     monitor on/off (differs in {} at MLAM_THREADS={threads})",
+                    dir.display()
+                ),
+                None => reference_curves = Some(curves),
+            }
+        }
     }
     let _ = std::fs::remove_dir_all(&base);
 }

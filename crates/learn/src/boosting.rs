@@ -154,6 +154,14 @@ impl AdaBoost {
         let mut weights = vec![1.0 / m as f64; m];
         let mut members = Vec::new();
         let mut round_errors = Vec::new();
+        // Learning-curve bookkeeping (recording runs only): the signed
+        // ensemble margin per example, updated incrementally from the
+        // same ht sign the reweight loop already computes, so each
+        // checkpoint's ensemble accuracy is exact without re-running
+        // the stumps.
+        let mut signed_margins: Option<Vec<f64>> =
+            mlam_telemetry::curves::recording().then(|| vec![0.0f64; m]);
+        let mut last_checkpoint: Option<u64> = None;
 
         for _ in 0..self.rounds {
             // Best stump under current weights: the weighted error sums
@@ -195,16 +203,55 @@ impl AdaBoost {
                 let mismatched = (mismatch[i / 64] >> (i % 64)) & 1 == 1;
                 let ht_negative = mismatched != polarity_neg;
                 *w *= if ht_negative { grow } else { shrink };
+                if let Some(signed) = signed_margins.as_mut() {
+                    // The per-label signed margin Σ α·h·t: positive
+                    // when the ensemble agrees with the label.
+                    signed[i] += alpha * if ht_negative { -1.0 } else { 1.0 };
+                }
                 total += *w;
             }
             for w in &mut weights {
                 *w /= total;
+            }
+            if let Some(signed) = signed_margins.as_ref() {
+                let round = members.len() as u64;
+                if mlam_telemetry::curves::should_checkpoint(round, self.rounds as u64) {
+                    // Ensemble eval is margin ≤ 0 ⇒ logic 1, so ties go
+                    // to the positive class: with t = −1 for y = true,
+                    // y = true is correct at signed ≥ 0, y = false
+                    // needs signed > 0 strictly.
+                    let mut correct = 0usize;
+                    for (i, s) in signed.iter().enumerate() {
+                        let y_true = (label_words[i / 64] >> (i % 64)) & 1 == 1;
+                        if (y_true && *s >= 0.0) || (!y_true && *s > 0.0) {
+                            correct += 1;
+                        }
+                    }
+                    mlam_telemetry::curves::checkpoint(
+                        "adaboost",
+                        round,
+                        correct as f64 / m as f64,
+                        None,
+                    );
+                    last_checkpoint = Some(round);
+                }
             }
         }
 
         mlam_telemetry::counter!("learn.boosting.rounds", round_errors.len());
         let hypothesis = BoostedStumps { n, members };
         let training_accuracy = data.accuracy_of(&hypothesis);
+        if signed_margins.is_some() && last_checkpoint != Some(hypothesis.members.len() as u64) {
+            // Early break (no weak learner left) can skip the schedule's
+            // final point; close the curve with the already-computed
+            // ensemble accuracy.
+            mlam_telemetry::curves::checkpoint(
+                "adaboost",
+                hypothesis.members.len() as u64,
+                training_accuracy,
+                None,
+            );
+        }
         BoostOutcome {
             hypothesis,
             round_errors,
@@ -270,6 +317,42 @@ mod tests {
         let masks: Vec<u64> = mlam_boolean::SubsetsUpTo::new(8, 2).collect();
         let strong = AdaBoost::new(40).with_masks(masks).train(&train);
         assert_eq!(test.accuracy_of(&strong.hypothesis), 1.0);
+    }
+
+    #[test]
+    fn recording_emits_adaboost_curve_without_touching_numerics() {
+        use mlam_telemetry::curves::{enter_series, CurveRecorder, CurveSink};
+        use std::sync::Arc;
+
+        let mut rng = StdRng::seed_from_u64(6);
+        let target = FnFunction::new(9, |x: &BitVec| x.count_ones() >= 5);
+        let train = LabeledSet::sample(&target, 800, &mut rng);
+        let plain = AdaBoost::new(24).train(&train);
+
+        let recorder = Arc::new(CurveRecorder::new());
+        let recorded = {
+            let sinks: Arc<Vec<Arc<dyn CurveSink>>> =
+                Arc::new(vec![Arc::clone(&recorder) as Arc<dyn CurveSink>]);
+            let _guard = enter_series("boost_test", sinks);
+            AdaBoost::new(24).train(&train)
+        };
+        // Recording must not perturb the training result.
+        assert_eq!(plain.hypothesis, recorded.hypothesis);
+        assert_eq!(plain.round_errors, recorded.round_errors);
+
+        let series = recorder.series();
+        let points = &series["boost_test"];
+        assert!(!points.is_empty());
+        assert!(points.iter().all(|p| p.label == "adaboost"));
+        assert!(
+            points.windows(2).all(|w| w[0].iteration < w[1].iteration),
+            "rounds must be strictly increasing"
+        );
+        // The incrementally-tracked margin accuracy is bit-exact
+        // against the direct ensemble evaluation at the final round.
+        let last = points.last().unwrap();
+        assert_eq!(last.iteration, recorded.hypothesis.members().len() as u64);
+        assert_eq!(last.train_acc, recorded.training_accuracy);
     }
 
     #[test]

@@ -66,7 +66,7 @@ impl ChowReconstruction {
         let mut weights = target_chow.degree_one.clone();
         let mut theta = -target_chow.constant;
 
-        for _ in 0..self.config.refine_rounds {
+        for round in 0..self.config.refine_rounds {
             let candidate = LinearThreshold::new(weights.clone(), theta);
             // Chow parameters of the candidate over the same sample's
             // challenges (self-labelled).
@@ -85,6 +85,23 @@ impl ChowReconstruction {
             }
             let gap0 = target_chow.constant - cand_chow.constant;
             theta -= self.config.refine_step * gap0;
+            // Learning-curve checkpoint at log-spaced refinement
+            // rounds: accuracy of the just-updated surrogate against
+            // the device labels (recording runs only).
+            if mlam_telemetry::curves::recording()
+                && mlam_telemetry::curves::should_checkpoint(
+                    round as u64 + 1,
+                    self.config.refine_rounds as u64,
+                )
+            {
+                let refined = LinearThreshold::new(weights.clone(), theta);
+                mlam_telemetry::curves::checkpoint(
+                    "chow",
+                    round as u64 + 1,
+                    data.accuracy_of(&refined),
+                    None,
+                );
+            }
             if max_gap.max(gap0.abs()) < 1e-3 {
                 break;
             }

@@ -101,7 +101,7 @@ impl CmaEs {
             } else {
                 x0.iter().map(|v| v + gaussian(rng)).collect()
             };
-            let (b, bf, g, e) = self.run_once(f, &start, rng);
+            let (b, bf, g, e) = self.run_once(f, &start, rng, generations);
             generations += g;
             evaluations += e;
             if bf < best_fitness {
@@ -122,7 +122,16 @@ impl CmaEs {
         }
     }
 
-    fn run_once<F, R>(&self, f: &F, x0: &[f64], rng: &mut R) -> (Vec<f64>, f64, usize, usize)
+    /// One restart of the strategy. `gen_offset` is the generation
+    /// count consumed by earlier restarts, so learning-curve iteration
+    /// numbers stay monotone across the whole [`CmaEs::minimize`] call.
+    fn run_once<F, R>(
+        &self,
+        f: &F,
+        x0: &[f64],
+        rng: &mut R,
+        gen_offset: usize,
+    ) -> (Vec<f64>, f64, usize, usize)
     where
         F: Fn(&[f64]) -> f64,
         R: Rng + ?Sized,
@@ -191,6 +200,23 @@ impl CmaEs {
             if pop[0].2 < best_fitness {
                 best_fitness = pop[0].2;
                 best = pop[0].0.clone();
+            }
+            // Learning-curve checkpoint at log-spaced generations. The
+            // fitness is an error fraction for the PUF objectives, so
+            // 1 − best is the exact training accuracy there (for other
+            // objectives it is recorded as a progress proxy).
+            if mlam_telemetry::curves::recording()
+                && mlam_telemetry::curves::should_checkpoint(
+                    generations as u64,
+                    self.options.max_generations as u64,
+                )
+            {
+                mlam_telemetry::curves::checkpoint(
+                    "cma_es",
+                    (gen_offset + generations) as u64,
+                    1.0 - best_fitness,
+                    None,
+                );
             }
             if best_fitness <= self.options.target_fitness {
                 break;

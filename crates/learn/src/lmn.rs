@@ -99,6 +99,11 @@ pub fn lmn_learn(data: &LabeledSet, config: LmnConfig) -> LmnOutcome {
         masks.into_iter().zip(coeffs).collect::<Vec<(u64, f64)>>(),
     );
     let training_accuracy = data.accuracy_of(&hypothesis);
+    // LMN is single-shot (one batch estimate, no iterations), so its
+    // learning curve is the one point the run ends on.
+    if mlam_telemetry::curves::recording() {
+        mlam_telemetry::curves::checkpoint("lmn", 1, training_accuracy, None);
+    }
     LmnOutcome {
         coefficients_estimated: hypothesis.len(),
         captured_weight,

@@ -122,7 +122,7 @@ impl LogisticRegression {
         let mut step = 0usize;
 
         let mut order: Vec<usize> = (0..fm.examples()).collect();
-        for _ in 0..self.config.epochs {
+        for epoch in 1..=self.config.epochs {
             // Shuffle the visit order each epoch.
             for i in (1..order.len()).rev() {
                 let j = rng.gen_range(0..=i);
@@ -151,6 +151,28 @@ impl LogisticRegression {
                     let vhat = *vi / (1.0 - b2.powi(step as i32));
                     *wi -= self.config.learning_rate * mhat / (vhat.sqrt() + eps);
                 }
+            }
+            // Learning-curve checkpoint at log-spaced epochs. The
+            // accuracy scan is recording-only and consumes no RNG, so
+            // the training trajectory is untouched.
+            if mlam_telemetry::curves::recording()
+                && mlam_telemetry::curves::should_checkpoint(
+                    epoch as u64,
+                    self.config.epochs as u64,
+                )
+            {
+                let mut correct = 0usize;
+                for row in 0..fm.examples() {
+                    if fm.dot(row, &w) * fm.label(row) > 0.0 {
+                        correct += 1;
+                    }
+                }
+                mlam_telemetry::curves::checkpoint(
+                    "logistic",
+                    epoch as u64,
+                    correct as f64 / fm.examples() as f64,
+                    None,
+                );
             }
         }
 

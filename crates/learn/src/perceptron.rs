@@ -172,6 +172,22 @@ impl Perceptron {
                 pocket_err = err;
                 pocket.copy_from_slice(&w);
             }
+            // Learning-curve checkpoint: the pocket error is already
+            // computed every epoch, so the accuracy here is free and
+            // matches the final `training_accuracy` definition.
+            if mlam_telemetry::curves::recording()
+                && (mlam_telemetry::curves::should_checkpoint(
+                    epochs_run as u64,
+                    self.max_epochs as u64,
+                ) || epoch_mistakes == 0)
+            {
+                mlam_telemetry::curves::checkpoint(
+                    "perceptron",
+                    epochs_run as u64,
+                    1.0 - pocket_err as f64 / fm.examples() as f64,
+                    None,
+                );
+            }
             if epoch_mistakes == 0 {
                 converged = true;
                 break;

@@ -127,6 +127,26 @@ pub fn appsat<R: Rng + ?Sized>(
                         &dip,
                         &response,
                     );
+                    // Learning-curve checkpoint at log-spaced DIP
+                    // counts, same remaining-key-space proxy as the
+                    // exact SAT attack; the settled accuracy closes the
+                    // curve at the end of the run.
+                    if mlam_telemetry::curves::recording()
+                        && mlam_telemetry::curves::should_checkpoint(
+                            dip_iterations as u64,
+                            (config.dips_per_round * config.max_rounds) as u64,
+                        )
+                    {
+                        mlam_telemetry::curves::checkpoint(
+                            "appsat",
+                            dip_iterations as u64,
+                            crate::sat_attack::key_space_proxy(
+                                dip_iterations,
+                                locked.num_key_bits(),
+                            ),
+                            None,
+                        );
+                    }
                 }
                 SatResult::Unsat => {
                     exact = true;
@@ -145,6 +165,9 @@ pub fn appsat<R: Rng + ?Sized>(
                 .collect();
             let response = oracle.simulate(&x);
             random_queries += 1;
+            // Metered per query so mid-run curve checkpoints account
+            // for settlement traffic exactly (the total is unchanged).
+            mlam_telemetry::counter!("locking.appsat.random_queries", 1);
             if locked.simulate(&x, &key) != response {
                 errors += 1;
                 // Reinforce: wrong queries become constraints.
@@ -169,7 +192,17 @@ pub fn appsat<R: Rng + ?Sized>(
 
     let key = extract_key(&mut keysolver, &keyvars, locked.num_key_bits());
     let estimated_accuracy = locked.key_accuracy(oracle, &key, 2000, rng);
-    mlam_telemetry::counter!("locking.appsat.random_queries", random_queries);
+    // Close the curve with the key's measured accuracy (the validation
+    // sample is not metered as attack queries — it is the
+    // experimenter's, not the adversary's).
+    if mlam_telemetry::curves::recording() {
+        mlam_telemetry::curves::checkpoint(
+            "appsat",
+            dip_iterations as u64,
+            estimated_accuracy,
+            None,
+        );
+    }
     let mut solver_stats = miter.stats();
     solver_stats.accumulate(&keysolver.stats());
     AppSatResult {

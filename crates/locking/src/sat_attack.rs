@@ -125,6 +125,18 @@ pub(crate) fn add_io_constraint(
     }
 }
 
+/// Remaining-key-space progress proxy for the DIP loop's learning
+/// curve: each DIP eliminates at least one key (at best halving the
+/// space), so after `dips` of at most `key_bits` possible halvings the
+/// resolved fraction is bounded below by `dips / key_bits`, clamped to
+/// 1. A zero-bit key is trivially resolved.
+pub(crate) fn key_space_proxy(dips: usize, key_bits: usize) -> f64 {
+    if key_bits == 0 {
+        return 1.0;
+    }
+    1.0 - (key_bits.saturating_sub(dips)) as f64 / key_bits as f64
+}
+
 /// Runs the SAT attack against `locked`, with `oracle` standing in for
 /// the activated chip (the attacker queries it on chosen inputs — the
 /// *membership query* access of Section IV).
@@ -178,6 +190,7 @@ pub fn sat_attack(
 
     let _span = mlam_telemetry::span("locking.sat_attack").attr("key_bits", locked.num_key_bits());
     let mut iterations = 0usize;
+    let mut last_checkpoint: Option<(u64, f64)> = None;
     loop {
         assert!(
             iterations < config.max_iterations,
@@ -195,9 +208,33 @@ pub fn sat_attack(
                 add_io_constraint(locked, &mut miter, &key2, &dip, &response);
                 // And the key-consistency instance.
                 add_io_constraint(locked, &mut keysolver, &keyvars, &dip, &response);
+                // Learning-curve checkpoint at log-spaced DIP counts:
+                // progress is a remaining-key-space proxy (each DIP
+                // prunes at least one key, so `k` DIPs bound the attack
+                // from below at `k` of the `num_key_bits` halvings).
+                if mlam_telemetry::curves::recording()
+                    && mlam_telemetry::curves::should_checkpoint(
+                        iterations as u64,
+                        config.max_iterations as u64,
+                    )
+                {
+                    let proxy = key_space_proxy(iterations, locked.num_key_bits());
+                    mlam_telemetry::curves::checkpoint(
+                        "sat_attack",
+                        iterations as u64,
+                        proxy,
+                        None,
+                    );
+                    last_checkpoint = Some((iterations as u64, proxy));
+                }
             }
             SatResult::Unsat => break,
         }
+    }
+    // Close the curve at the UNSAT point: the key space is fully
+    // pruned, so the resolved fraction is 1 regardless of DIP count.
+    if mlam_telemetry::curves::recording() && last_checkpoint != Some((iterations as u64, 1.0)) {
+        mlam_telemetry::curves::checkpoint("sat_attack", iterations as u64, 1.0, None);
     }
 
     // Extract any consistent key.

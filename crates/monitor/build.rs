@@ -1,0 +1,21 @@
+//! Embeds the git revision into the monitor so the Prometheus
+//! `mlam_build_info` gauge can attribute scrapes to an exact build.
+//! Falls back to "unknown" outside a git checkout (e.g. a source
+//! tarball) — the build must never fail over missing VCS metadata.
+
+use std::process::Command;
+
+fn main() {
+    let hash = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=MLAM_GIT_HASH={hash}");
+    // Re-run when HEAD moves so the hash stays honest.
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+}

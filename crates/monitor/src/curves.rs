@@ -1,0 +1,157 @@
+//! Live learning-curve state behind the `/curves` endpoint.
+//!
+//! [`LiveCurves`] is a [`CurveSink`]: the bench session registers it
+//! alongside the `curves.jsonl` recorder, so every checkpoint a
+//! training loop emits is immediately visible to a scraper. Like the
+//! rest of the monitor, the state lives in a crate-owned `Mutex` —
+//! never the telemetry registry — so serving `/curves` cannot perturb
+//! the deterministic run artifacts (see the crate-level determinism
+//! firewall notes).
+
+use mlam_telemetry::{CurvePoint, CurveSink};
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Cap on buffered points per series: enough for any log-spaced
+/// schedule (2^1024 iterations will not happen), a bound in case a
+/// caller checkpoints every iteration of a very long loop.
+const MAX_POINTS_PER_SERIES: usize = 1024;
+
+/// One point in the `/curves` JSON payload.
+#[derive(Clone, Debug, Serialize)]
+pub struct LiveCurvePoint {
+    /// Emitting loop (`perceptron`, `sat_attack`, …).
+    pub label: String,
+    /// 1-based iteration within the loop.
+    pub iteration: u64,
+    /// Exact logical queries spent at this checkpoint.
+    pub queries: u64,
+    /// Exact raw oracle reads at this checkpoint.
+    pub raw_reads: u64,
+    /// Training accuracy in `[0, 1]`.
+    pub train_acc: f64,
+    /// Holdout accuracy, when the loop measured one.
+    pub holdout_acc: Option<f64>,
+}
+
+/// One series in the `/curves` JSON payload.
+#[derive(Clone, Debug, Serialize)]
+pub struct LiveCurveSeries {
+    /// Series (experiment) name.
+    pub name: String,
+    /// Total points received, including any dropped by the buffer cap.
+    pub points_total: u64,
+    /// The buffered points, oldest first.
+    pub points: Vec<LiveCurvePoint>,
+}
+
+/// The full `/curves` payload.
+#[derive(Clone, Debug, Serialize)]
+pub struct LiveCurvesSnapshot {
+    /// Every series seen so far, in name order.
+    pub series: Vec<LiveCurveSeries>,
+}
+
+struct SeriesState {
+    points_total: u64,
+    points: Vec<LiveCurvePoint>,
+}
+
+/// Crate-owned live mirror of curve checkpoints, fed through the
+/// [`CurveSink`] the bench session installs.
+#[derive(Default)]
+pub struct LiveCurves {
+    series: Mutex<BTreeMap<String, SeriesState>>,
+}
+
+impl LiveCurves {
+    /// An empty store.
+    pub fn new() -> LiveCurves {
+        LiveCurves::default()
+    }
+
+    /// A point-in-time copy of everything received, series in name
+    /// order, points in emission order.
+    pub fn snapshot(&self) -> LiveCurvesSnapshot {
+        let series = self.series.lock().expect("live curves poisoned");
+        LiveCurvesSnapshot {
+            series: series
+                .iter()
+                .map(|(name, state)| LiveCurveSeries {
+                    name: name.clone(),
+                    points_total: state.points_total,
+                    points: state.points.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl CurveSink for LiveCurves {
+    fn on_point(&self, series: &str, point: &CurvePoint) {
+        let mut map = self.series.lock().expect("live curves poisoned");
+        let state = map.entry(series.to_owned()).or_insert_with(|| SeriesState {
+            points_total: 0,
+            points: Vec::new(),
+        });
+        state.points_total += 1;
+        if state.points.len() < MAX_POINTS_PER_SERIES {
+            state.points.push(LiveCurvePoint {
+                label: point.label.clone(),
+                iteration: point.iteration,
+                queries: point.queries,
+                raw_reads: point.raw_reads,
+                train_acc: point.train_acc,
+                holdout_acc: point.holdout_acc,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap as Map;
+
+    fn point(iteration: u64, queries: u64) -> CurvePoint {
+        CurvePoint {
+            label: "perceptron".to_string(),
+            iteration,
+            queries,
+            raw_reads: queries,
+            train_acc: 0.5,
+            holdout_acc: None,
+            counters: Map::new(),
+        }
+    }
+
+    #[test]
+    fn snapshots_reflect_points_in_order() {
+        let live = LiveCurves::new();
+        live.on_point("exp_b", &point(1, 10));
+        live.on_point("exp_a", &point(1, 5));
+        live.on_point("exp_b", &point(2, 20));
+        let snap = live.snapshot();
+        assert_eq!(snap.series.len(), 2);
+        assert_eq!(snap.series[0].name, "exp_a");
+        assert_eq!(snap.series[1].name, "exp_b");
+        assert_eq!(snap.series[1].points_total, 2);
+        let iters: Vec<u64> = snap.series[1].points.iter().map(|p| p.iteration).collect();
+        assert_eq!(iters, vec![1, 2]);
+    }
+
+    #[test]
+    fn buffer_caps_but_counts_everything() {
+        let live = LiveCurves::new();
+        for i in 0..(MAX_POINTS_PER_SERIES as u64 + 10) {
+            live.on_point("big", &point(i + 1, i));
+        }
+        let snap = live.snapshot();
+        assert_eq!(snap.series[0].points.len(), MAX_POINTS_PER_SERIES);
+        assert_eq!(
+            snap.series[0].points_total,
+            MAX_POINTS_PER_SERIES as u64 + 10
+        );
+    }
+}

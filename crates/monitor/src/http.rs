@@ -15,11 +15,16 @@
 //!   registry counters/histograms plus monitor gauges (progress, heap,
 //!   in-flight spans). `Content-Type: text/plain; version=0.0.4`.
 //! - `GET /progress` — the current [`ProgressSnapshot`] as JSON.
+//! - `GET /curves` — the live [`LiveCurvesSnapshot`] as JSON
+//!   (accuracy-vs-queries checkpoints per experiment, when the session
+//!   attached one via [`Monitor::curves`]).
 //! - `GET /healthz` — `200 ok`, for readiness loops in CI.
 //! - anything else — `404`.
 //!
 //! [`ProgressSnapshot`]: crate::progress::ProgressSnapshot
+//! [`LiveCurvesSnapshot`]: crate::curves::LiveCurvesSnapshot
 
+use crate::curves::LiveCurves;
 use crate::progress::Progress;
 use crate::prometheus::{self, Exposition};
 use crate::sampler::{Sampler, DEFAULT_PERIOD};
@@ -35,6 +40,7 @@ pub struct Monitor {
     addr: String,
     sample_period: Duration,
     progress: Option<Arc<Progress>>,
+    curves: Option<Arc<LiveCurves>>,
 }
 
 impl Monitor {
@@ -45,6 +51,7 @@ impl Monitor {
             addr: addr.to_string(),
             sample_period: DEFAULT_PERIOD,
             progress: None,
+            curves: None,
         }
     }
 
@@ -58,6 +65,14 @@ impl Monitor {
     /// `mlam_progress_*` gauges.
     pub fn progress(mut self, progress: Arc<Progress>) -> Monitor {
         self.progress = Some(progress);
+        self
+    }
+
+    /// Attaches a live curve store, enabling `/curves` payloads. The
+    /// session registers the same store as a checkpoint sink, so the
+    /// endpoint reflects training progress as it happens.
+    pub fn curves(mut self, curves: Arc<LiveCurves>) -> Monitor {
+        self.curves = Some(curves);
         self
     }
 
@@ -79,6 +94,7 @@ impl Monitor {
             sampler: Arc::clone(&sampler),
             spans,
             progress: self.progress,
+            curves: self.curves,
             scrapes: Arc::clone(&scrapes),
             stop: Arc::clone(&stop),
         };
@@ -140,6 +156,7 @@ struct ServerState {
     sampler: Arc<Sampler>,
     spans: Arc<LiveSpans>,
     progress: Option<Arc<Progress>>,
+    curves: Option<Arc<LiveCurves>>,
     scrapes: Arc<AtomicU64>,
     stop: Arc<AtomicBool>,
 }
@@ -201,6 +218,14 @@ impl ServerState {
                 let snap = match &self.progress {
                     Some(p) => p.snapshot(),
                     None => Progress::new(0).snapshot(),
+                };
+                let body = serde_json::to_string(&snap).unwrap_or_else(|_| "{}".to_string());
+                ("200 OK", "application/json", body + "\n")
+            }
+            "/curves" => {
+                let snap = match &self.curves {
+                    Some(c) => c.snapshot(),
+                    None => crate::curves::LiveCurvesSnapshot { series: Vec::new() },
                 };
                 let body = serde_json::to_string(&snap).unwrap_or_else(|_| "{}".to_string());
                 ("200 OK", "application/json", body + "\n")

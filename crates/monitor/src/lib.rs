@@ -20,6 +20,10 @@
 //!   current/peak heap gauges.
 //! - [`spans`] — an event sink tracking in-flight spans so `/metrics`
 //!   can show what the run is doing *right now*.
+//! - [`curves`] — a live mirror of learning-curve checkpoints
+//!   (accuracy vs. exact queries) behind the `/curves` JSON endpoint,
+//!   fed by the same [`mlam_telemetry::CurveSink`] fan-out that writes
+//!   `curves.jsonl`.
 //!
 //! # The determinism firewall
 //!
@@ -36,12 +40,14 @@
 #![warn(missing_docs)]
 
 pub mod alloc;
+pub mod curves;
 pub mod http;
 pub mod progress;
 pub mod prometheus;
 pub mod sampler;
 pub mod spans;
 
+pub use curves::{LiveCurves, LiveCurvesSnapshot};
 pub use http::{Monitor, MonitorHandle};
 pub use progress::{Progress, ProgressReporter, ProgressSnapshot};
 pub use sampler::{Sampler, SamplerState};

@@ -98,6 +98,16 @@ pub struct Exposition {
 /// Renders the full Prometheus text exposition.
 pub fn render(e: &Exposition) -> String {
     let mut out = String::new();
+    // Build attribution first, so every scrape is traceable to an
+    // exact binary even when the registry is still empty. The git hash
+    // is baked in by build.rs ("unknown" outside a checkout).
+    let _ = writeln!(out, "# TYPE mlam_build_info gauge");
+    let _ = writeln!(
+        out,
+        "mlam_build_info{{version=\"{}\",git=\"{}\",features=\"default\"}} 1",
+        escape_label(env!("CARGO_PKG_VERSION")),
+        escape_label(option_env!("MLAM_GIT_HASH").unwrap_or("unknown")),
+    );
     for (name, &value) in &e.metrics.counters {
         let prom = metric_name(name);
         let _ = writeln!(out, "# TYPE {prom} counter");
@@ -232,6 +242,11 @@ mod tests {
         });
         let text = render(&e);
         validate(&text).expect("exposition must validate");
+        assert!(text.contains("# TYPE mlam_build_info gauge"));
+        assert!(text.contains(&format!(
+            "mlam_build_info{{version=\"{}\",git=",
+            env!("CARGO_PKG_VERSION")
+        )));
         assert!(text.contains("# TYPE mlam_oracle_example_queries counter"));
         assert!(text.contains("mlam_oracle_example_queries 2000"));
         // Bucket 3 holds values ≤ 7; bucket 5 values ≤ 31; cumulative.

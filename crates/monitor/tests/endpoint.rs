@@ -88,6 +88,67 @@ fn endpoints_serve_metrics_progress_and_health() {
 }
 
 #[test]
+fn curves_endpoint_serves_live_series() {
+    use mlam_monitor::LiveCurves;
+    use mlam_telemetry::{CurvePoint, CurveSink};
+
+    // Without an attached store the endpoint answers an empty payload.
+    let bare = Monitor::new("127.0.0.1:0")
+        .sample_period(Duration::from_millis(10))
+        .start()
+        .expect("monitor binds");
+    let (status, body) = get(bare.addr(), "/curves");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert_eq!(body.trim(), r#"{"series":[]}"#);
+    bare.shutdown();
+
+    // With a store, checkpoints become visible as soon as they land.
+    let live = Arc::new(LiveCurves::new());
+    let handle = Monitor::new("127.0.0.1:0")
+        .sample_period(Duration::from_millis(10))
+        .curves(Arc::clone(&live))
+        .start()
+        .expect("monitor binds");
+    for (iteration, queries, acc) in [(1u64, 8u64, 0.55), (2, 16, 0.7), (4, 32, 0.9)] {
+        live.on_point(
+            "table1_quick",
+            &CurvePoint {
+                label: "perceptron".to_string(),
+                iteration,
+                queries,
+                raw_reads: queries,
+                train_acc: acc,
+                holdout_acc: None,
+                counters: std::collections::BTreeMap::new(),
+            },
+        );
+    }
+    let (status, body) = get(handle.addr(), "/curves");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(body.contains(r#""name":"table1_quick""#), "body: {body}");
+    assert!(body.contains(r#""points_total":3"#), "body: {body}");
+    assert!(body.contains(r#""label":"perceptron""#), "body: {body}");
+
+    // Iterations and query counts must be strictly increasing in the
+    // served order — the live view mirrors emission order exactly.
+    let extract = |key: &str| -> Vec<u64> {
+        body.match_indices(&format!("\"{key}\":"))
+            .map(|(at, found)| {
+                body[at + found.len()..]
+                    .chars()
+                    .take_while(|c| c.is_ascii_digit())
+                    .collect::<String>()
+                    .parse()
+                    .expect("numeric field")
+            })
+            .collect()
+    };
+    assert_eq!(extract("iteration"), vec![1, 2, 4]);
+    assert_eq!(extract("queries"), vec![8, 16, 32]);
+    handle.shutdown();
+}
+
+#[test]
 fn scrapes_are_counted_and_concurrent_scrapes_survive() {
     let handle = Monitor::new("127.0.0.1:0")
         .sample_period(Duration::from_millis(10))

@@ -21,9 +21,16 @@
 //! - [`manifest`] — the serde-serializable [`RunManifest`] written by
 //!   `repro_all --json`, recording seed, parameters, crate versions,
 //!   and per-experiment wall-clock plus counter deltas.
+//!
+//! Layered on top, [`curves`] records deterministic accuracy-vs-queries
+//! learning curves (`curves.jsonl`): training loops call
+//! [`curves::checkpoint`] — free when no recording context is
+//! installed — and the query budget is read exactly from the active
+//! [`CounterScope`].
 
 #![warn(missing_docs)]
 
+pub mod curves;
 pub mod manifest;
 pub mod metrics;
 pub mod propagate;
@@ -31,10 +38,11 @@ pub mod recorder;
 pub mod rundir;
 pub mod span;
 
+pub use curves::{CurvePoint, CurveRecorder, CurveSink, CURVES_FILE};
 pub use manifest::{ExperimentRecord, RunManifest};
 pub use metrics::{
-    counter_handle, histogram_handle, snapshot, write_metrics_jsonl, Counter, CounterScope,
-    CounterScopeGuard, Histogram, HistogramSnapshot, MetricLine, MetricsSnapshot,
+    counter_handle, histogram_handle, scope_counter_totals, snapshot, write_metrics_jsonl, Counter,
+    CounterScope, CounterScopeGuard, Histogram, HistogramSnapshot, MetricLine, MetricsSnapshot,
 };
 pub use propagate::install_parallel_propagation;
 pub use recorder::{add_sink, stderr_level, Event, EventKind, JsonlSink, Level, Sink};

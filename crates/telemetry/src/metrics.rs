@@ -165,6 +165,41 @@ pub(crate) fn current_sink() -> Option<Arc<ScopeSink>> {
     THREAD_SCOPE.with(|slot| slot.borrow().as_ref().map(|t| Arc::clone(&t.sink)))
 }
 
+/// Non-draining read of the increments attributed so far to the scope
+/// installed on the current thread, filtered to names starting with
+/// one of `prefixes`. Returns `None` when no scope is installed.
+///
+/// The totals merge the shared sink (already-flushed buffers from
+/// guards that have dropped) with the *current thread's* still-live
+/// buffer, so a sequential driver reading its own scope mid-run sees
+/// every increment it has made. Buffers still live on *other* threads
+/// are not visible — callers that need exact totals must read from
+/// the thread doing the counting (or after worker guards drop, which
+/// `mlam-par` guarantees before a parallel call returns).
+pub fn scope_counter_totals(prefixes: &[&str]) -> Option<BTreeMap<String, u64>> {
+    THREAD_SCOPE.with(|slot| {
+        let slot = slot.borrow();
+        let scope = slot.as_ref()?;
+        let matches = |name: &str| prefixes.iter().any(|p| name.starts_with(p));
+        let mut totals: BTreeMap<String, u64> = scope
+            .sink
+            .deltas
+            .lock()
+            .expect("counter scope poisoned")
+            .iter()
+            .filter(|(name, _)| matches(name))
+            .map(|(name, &value)| (name.clone(), value))
+            .collect();
+        for (name, &delta) in &scope.buffer {
+            if matches(name) {
+                *totals.entry(name.as_ref().to_owned()).or_insert(0) += delta;
+            }
+        }
+        totals.retain(|_, v| *v > 0);
+        Some(totals)
+    })
+}
+
 /// Installs `sink` as the current thread's attribution target.
 pub(crate) fn enter_sink(sink: Arc<ScopeSink>) -> CounterScopeGuard {
     THREAD_SCOPE.with(|slot| {
@@ -619,6 +654,36 @@ mod tests {
         // Increments after the guard dropped are not attributed.
         c.add(7);
         assert!(scope.take().is_empty());
+    }
+
+    #[test]
+    fn scope_totals_read_without_draining() {
+        assert_eq!(scope_counter_totals(&["test."]), None, "no scope installed");
+        let a = counter_handle("test.metrics.totals_a");
+        let b = counter_handle("test.metrics.totals_other");
+        let scope = CounterScope::new();
+        {
+            let _guard = scope.enter();
+            a.add(5);
+            b.add(2);
+            // Buffered increments on this thread are visible...
+            let totals = scope_counter_totals(&["test.metrics.totals_a"]).unwrap();
+            assert_eq!(totals["test.metrics.totals_a"], 5);
+            // ...and the prefix filter drops non-matching names.
+            assert!(!totals.contains_key("test.metrics.totals_other"));
+            a.add(1);
+            let totals = scope_counter_totals(&["test.metrics.totals_"]).unwrap();
+            assert_eq!(totals["test.metrics.totals_a"], 6);
+            assert_eq!(totals["test.metrics.totals_other"], 2);
+        }
+        {
+            // Reads after a guard drop see the flushed sink; reading
+            // never drains what take() will report.
+            let _guard = scope.enter();
+            let totals = scope_counter_totals(&["test.metrics.totals_"]).unwrap();
+            assert_eq!(totals["test.metrics.totals_a"], 6);
+        }
+        assert_eq!(scope.take()["test.metrics.totals_a"], 6);
     }
 
     #[test]

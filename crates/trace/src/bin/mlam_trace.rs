@@ -8,6 +8,9 @@
 //!                    [--ignore-counter <prefix>]... [--json]
 //! mlam-trace bench   <run-dir> [-o BENCH.json]
 //! mlam-trace bench-history [<dir>]
+//! mlam-trace curves  <run-dir> [--csv] [-o file.csv]
+//! mlam-trace curves  <baseline-dir> <current-dir>
+//!                    [--query-threshold 0.1] [--warn-only]
 //! ```
 //!
 //! Exit codes: `0` clean, `1` wall-clock regression beyond the
@@ -15,8 +18,8 @@
 //! drift or structural mismatch (never suppressed), `64` usage or I/O
 //! error.
 
-use mlam_trace::{bench_history, bench_json, chrome, compare, profile, RunData};
-use std::path::PathBuf;
+use mlam_trace::{bench_history, bench_json, chrome, compare, curves, profile, RunData};
+use std::path::{Path, PathBuf};
 
 const EXIT_OK: i32 = 0;
 const EXIT_WALL_REGRESSION: i32 = 1;
@@ -57,6 +60,20 @@ USAGE:
         Merge every BENCH_<n>.json under <dir> (default: .) into one
         index-ordered table — the repo's perf trajectory across PRs,
         whatever schema each benchmark used.
+
+    mlam-trace curves <run-dir> [--csv] [-o <file>]
+        Summarize the run's learning curves (curves.jsonl): checkpoint
+        counts, final query budgets, accuracy endpoints. --csv emits
+        series,label,iteration,queries,raw_reads,train_acc,holdout_acc
+        rows instead, for accuracy-vs-queries plots (default: stdout).
+
+    mlam-trace curves <baseline-dir> <current-dir>
+               [--query-threshold <ratio>] [--warn-only]
+        Diff two runs' learning curves. Series sets, checkpoint
+        schedules and final accuracies must match (exit 2 on drift,
+        never suppressed); reaching the same final accuracy with more
+        than the threshold's extra queries (default 0.1 = +10%) exits
+        1 unless --warn-only.
 ";
 
 fn main() {
@@ -71,6 +88,7 @@ fn real_main() -> i32 {
         Some("compare") => cmd_compare(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("bench-history") => cmd_bench_history(&args[1..]),
+        Some("curves") => cmd_curves(&args[1..]),
         Some("--help" | "-h" | "help") => {
             print!("{USAGE}");
             EXIT_OK
@@ -278,6 +296,102 @@ fn cmd_bench_history(args: &[String]) -> i32 {
     }
     print!("{}", bench_history::render(&rows));
     EXIT_OK
+}
+
+fn cmd_curves(args: &[String]) -> i32 {
+    // Own flag loop: `curves` mixes export flags (--csv/-o) with
+    // compare flags (--query-threshold/--warn-only), unlike the
+    // shared parser's split.
+    let mut positionals: Vec<String> = Vec::new();
+    let mut csv = false;
+    let mut output: Option<PathBuf> = None;
+    let mut warn_only = false;
+    let mut options = curves::CurveCompareOptions::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--csv" => csv = true,
+            "-o" | "--output" => {
+                let Some(value) = iter.next() else {
+                    return usage_error("missing value for -o/--output");
+                };
+                output = Some(PathBuf::from(value));
+            }
+            "--warn-only" => warn_only = true,
+            "--query-threshold" => {
+                let Some(value) = iter.next() else {
+                    return usage_error("missing value for --query-threshold");
+                };
+                options.query_threshold = match value.parse() {
+                    Ok(v) => v,
+                    Err(e) => return usage_error(format!("bad --query-threshold '{value}': {e}")),
+                };
+            }
+            other if other.starts_with('-') => {
+                return usage_error(format!("unknown flag '{other}'"));
+            }
+            _ => positionals.push(arg.clone()),
+        }
+    }
+    match positionals.as_slice() {
+        [input] => {
+            let series = match curves::load(Path::new(input)) {
+                Ok(series) => series,
+                Err(e) => return usage_error(e),
+            };
+            let rendered = if csv {
+                curves::to_csv(&series)
+            } else {
+                curves::summarize(&series)
+            };
+            match output {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(&path, rendered) {
+                        return usage_error(format!("cannot write {}: {e}", path.display()));
+                    }
+                    println!("wrote {} ({} series)", path.display(), series.len());
+                }
+                None => print!("{rendered}"),
+            }
+            EXIT_OK
+        }
+        [baseline_dir, current_dir] => {
+            let baseline = match curves::load(Path::new(baseline_dir)) {
+                Ok(series) => series,
+                Err(e) => return usage_error(e),
+            };
+            let current = match curves::load(Path::new(current_dir)) {
+                Ok(series) => series,
+                Err(e) => return usage_error(e),
+            };
+            let report = curves::compare(&baseline, &current, &options);
+            print!("{}", report.render());
+            match report.verdict() {
+                "curve-drift" => {
+                    eprintln!("mlam-trace: learning-curve drift — the runs differ behaviorally");
+                }
+                "query-regression" if warn_only => {
+                    eprintln!(
+                        "mlam-trace: query-efficiency regression (suppressed by --warn-only)"
+                    );
+                }
+                "query-regression" => {
+                    eprintln!(
+                        "mlam-trace: query-efficiency regression beyond +{:.0}%",
+                        options.query_threshold * 100.0
+                    );
+                }
+                _ => {}
+            }
+            let exit = report.exit_code(warn_only);
+            debug_assert!(matches!(
+                exit,
+                EXIT_OK | EXIT_WALL_REGRESSION | EXIT_COUNTER_DRIFT
+            ));
+            exit
+        }
+        _ => usage_error("curves takes one run directory (summary/CSV) or two (compare)"),
+    }
 }
 
 fn cmd_bench(args: &[String]) -> i32 {

@@ -20,6 +20,9 @@
 //!   experiment);
 //! - [`bench_history`] — one index-ordered table over every checked-in
 //!   `BENCH_<n>.json`, whatever its schema.
+//! - [`curves`] — learning-curve (`curves.jsonl`) summaries, CSV
+//!   export for accuracy-vs-queries plots, and a cross-run curve diff
+//!   with a query-efficiency verdict.
 
 #![warn(missing_docs)]
 
@@ -27,6 +30,7 @@ pub mod bench_history;
 pub mod bench_json;
 pub mod chrome;
 pub mod compare;
+pub mod curves;
 pub mod profile;
 pub mod run;
 

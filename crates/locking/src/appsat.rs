@@ -9,12 +9,17 @@
 //! the returned key is an ε-approximation rather than an exact key —
 //! the distinction between approximate and exact inference that
 //! Section IV-A turns on.
+//!
+//! Like the exact attack, AppSAT now runs on one persistent
+//! [`DipSolver`]: the per-round key candidate is an assumption-mode
+//! probe of the same instance that finds DIPs, so settlement rounds no
+//! longer pay for a separate key-consistency solver.
 
 use crate::combinational::LockedNetlist;
-use crate::sat_attack::encode_copy;
+use crate::dip::DipSolver;
 use mlam_boolean::BitVec;
 use mlam_netlist::Netlist;
-use mlam_sat::{Lit, SatResult, Solver, SolverStats, Var};
+use mlam_sat::SolverStats;
 use rand::Rng;
 
 /// Configuration of AppSAT.
@@ -58,8 +63,7 @@ pub struct AppSatResult {
     pub settled_early: bool,
     /// Empirical accuracy of the returned key on fresh random inputs.
     pub estimated_accuracy: f64,
-    /// Full solver statistics accumulated over the miter and the
-    /// key-consistency solver.
+    /// Statistics of the persistent attack solver.
     pub solver_stats: SolverStats,
 }
 
@@ -78,26 +82,7 @@ pub fn appsat<R: Rng + ?Sized>(
     assert_eq!(oracle.num_inputs(), locked.num_primary_inputs());
     assert_eq!(oracle.num_outputs(), locked.netlist().num_outputs());
 
-    let mut miter = Solver::new();
-    let (in1, key1, out1) = encode_copy(locked, &mut miter);
-    let (in2, key2, out2) = encode_copy(locked, &mut miter);
-    for (a, b) in in1.iter().zip(&in2) {
-        miter.add_clause(&[Lit::pos(*a), Lit::neg(*b)]);
-        miter.add_clause(&[Lit::neg(*a), Lit::pos(*b)]);
-    }
-    let mut diff = Vec::new();
-    for (a, b) in out1.iter().zip(&out2) {
-        let d = miter.new_var();
-        miter.add_clause(&[Lit::neg(d), Lit::pos(*a), Lit::pos(*b)]);
-        miter.add_clause(&[Lit::neg(d), Lit::neg(*a), Lit::neg(*b)]);
-        miter.add_clause(&[Lit::pos(d), Lit::neg(*a), Lit::pos(*b)]);
-        miter.add_clause(&[Lit::pos(d), Lit::pos(*a), Lit::neg(*b)]);
-        diff.push(Lit::pos(d));
-    }
-    miter.add_clause(&diff);
-
-    let mut keysolver = Solver::new();
-    let (_ki, keyvars, _ko) = encode_copy(locked, &mut keysolver);
+    let mut dip_solver = DipSolver::new(locked);
 
     let _span = mlam_telemetry::span("locking.appsat").attr("key_bits", locked.num_key_bits());
     let mut dip_iterations = 0usize;
@@ -108,25 +93,12 @@ pub fn appsat<R: Rng + ?Sized>(
     'outer: for _round in 0..config.max_rounds {
         // Phase 1: a few exact DIPs.
         for _ in 0..config.dips_per_round {
-            match miter.solve() {
-                SatResult::Sat(model) => {
+            match dip_solver.find_dip() {
+                Some(dip) => {
                     dip_iterations += 1;
                     mlam_telemetry::counter!("locking.appsat.dips", 1);
-                    let dip: Vec<bool> = in1.iter().map(|v| model.value(*v)).collect();
                     let response = oracle.simulate(&dip);
-                    crate::sat_attack::add_io_constraint(
-                        locked, &mut miter, &key1, &dip, &response,
-                    );
-                    crate::sat_attack::add_io_constraint(
-                        locked, &mut miter, &key2, &dip, &response,
-                    );
-                    crate::sat_attack::add_io_constraint(
-                        locked,
-                        &mut keysolver,
-                        &keyvars,
-                        &dip,
-                        &response,
-                    );
+                    dip_solver.constrain(&dip, &response);
                     // Learning-curve checkpoint at log-spaced DIP
                     // counts, same remaining-key-space proxy as the
                     // exact SAT attack; the settled accuracy closes the
@@ -148,15 +120,16 @@ pub fn appsat<R: Rng + ?Sized>(
                         );
                     }
                 }
-                SatResult::Unsat => {
+                None => {
                     exact = true;
                     break 'outer;
                 }
             }
         }
 
-        // Phase 2: random queries + settlement test on the current key.
-        let key = extract_key(&mut keysolver, &keyvars, locked.num_key_bits());
+        // Phase 2: random queries + settlement test on the current key
+        // candidate (an assumption-mode probe of the same solver).
+        let key = dip_solver.extract_key();
         let mut errors = 0usize;
         let mut round_queries: Vec<(Vec<bool>, Vec<bool>)> = Vec::new();
         for _ in 0..config.queries_per_round {
@@ -175,9 +148,7 @@ pub fn appsat<R: Rng + ?Sized>(
             }
         }
         for (x, response) in &round_queries {
-            crate::sat_attack::add_io_constraint(locked, &mut miter, &key1, x, response);
-            crate::sat_attack::add_io_constraint(locked, &mut miter, &key2, x, response);
-            crate::sat_attack::add_io_constraint(locked, &mut keysolver, &keyvars, x, response);
+            dip_solver.constrain(x, response);
         }
         let err_rate = errors as f64 / config.queries_per_round as f64;
         if err_rate <= config.error_threshold {
@@ -190,7 +161,7 @@ pub fn appsat<R: Rng + ?Sized>(
         }
     }
 
-    let key = extract_key(&mut keysolver, &keyvars, locked.num_key_bits());
+    let key = dip_solver.extract_key();
     let estimated_accuracy = locked.key_accuracy(oracle, &key, 2000, rng);
     // Close the curve with the key's measured accuracy (the validation
     // sample is not metered as attack queries — it is the
@@ -203,28 +174,13 @@ pub fn appsat<R: Rng + ?Sized>(
             None,
         );
     }
-    let mut solver_stats = miter.stats();
-    solver_stats.accumulate(&keysolver.stats());
     AppSatResult {
         key,
         dip_iterations,
         random_queries,
         settled_early: !exact,
         estimated_accuracy,
-        solver_stats,
-    }
-}
-
-fn extract_key(keysolver: &mut Solver, keyvars: &[Var], nk: usize) -> BitVec {
-    match keysolver.solve() {
-        SatResult::Sat(model) => {
-            let mut k = BitVec::zeros(nk);
-            for (i, v) in keyvars.iter().enumerate() {
-                k.set(i, model.value(*v));
-            }
-            k
-        }
-        SatResult::Unsat => unreachable!("correct key always consistent"),
+        solver_stats: dip_solver.stats(),
     }
 }
 

@@ -6,6 +6,9 @@
 //! - [`sat_attack`]: the oracle-guided SAT attack (DIP loop) built on
 //!   the `mlam-sat` CDCL solver — the "provable ML algorithm via
 //!   SAT-solvers" of \[4\], \[5\];
+//! - [`dip`]: the persistent incremental miter solver
+//!   ([`dip::DipSolver`]) both attack loops run on — one solver per
+//!   attack, key extraction by assumption;
 //! - [`appsat`]: AppSAT-style *approximate* deobfuscation mixing DIPs
 //!   with random queries — the online-ML-to-PAC conversion of
 //!   Section V-A;
@@ -34,6 +37,7 @@
 pub mod anti_sat;
 pub mod appsat;
 pub mod combinational;
+pub mod dip;
 pub mod pac_attack;
 pub mod sat_attack;
 pub mod sequential;

@@ -10,11 +10,19 @@
 //! observed output prunes all keys inconsistent with it. When the miter
 //! becomes UNSAT, every key consistent with the accumulated I/O
 //! constraints is functionally correct.
+//!
+//! Since the incremental-solver rework, the whole loop runs inside one
+//! persistent [`DipSolver`]: the miter is encoded once, DIP constraints
+//! accumulate in place, key extraction is an assumption flip rather
+//! than a second solver, and everything the solver learnt on earlier
+//! iterations carries into later ones. `EXPERIMENTS.md` documents the
+//! loop and the `sat_incremental` A/B bench that quantifies the win.
 
 use crate::combinational::LockedNetlist;
+use crate::dip::DipSolver;
 use mlam_boolean::BitVec;
 use mlam_netlist::{cnf::tseitin_encode, Cnf, Netlist};
-use mlam_sat::{Lit, SatResult, Solver, SolverStats, Var};
+use mlam_sat::{Lit, Solver, SolverStats, Var};
 
 /// Configuration of the SAT attack.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -47,8 +55,7 @@ pub struct SatAttackResult {
     pub key_is_functionally_correct: bool,
     /// Total SAT conflicts across all solver calls.
     pub sat_conflicts: u64,
-    /// Full solver statistics accumulated over the miter and the
-    /// key-consistency solver.
+    /// Statistics of the persistent attack solver.
     pub solver_stats: SolverStats,
 }
 
@@ -104,6 +111,12 @@ pub(crate) fn encode_copy(
 /// Adds the constraint "circuit(x = dip, key = key_vars) produces
 /// outputs = response" by instantiating a fresh copy of the circuit with
 /// pinned inputs and outputs, sharing `key_vars`.
+///
+/// Pin units are added **before** the gate clauses: the solver's
+/// root-level simplification then constant-folds most of the copy away
+/// as it arrives (clauses satisfied by a pinned literal are dropped,
+/// root-false literals stripped), so each constraint costs far fewer
+/// live clauses than a naive copy.
 pub(crate) fn add_io_constraint(
     locked: &LockedNetlist,
     solver: &mut Solver,
@@ -111,17 +124,27 @@ pub(crate) fn add_io_constraint(
     dip: &[bool],
     response: &[bool],
 ) {
-    let (inputs, keys, outputs) = encode_copy(locked, solver);
-    for (v, &b) in inputs.iter().zip(dip) {
-        solver.add_clause(&[Lit::new(*v, !b)]);
+    let mut cnf = Cnf::new(0);
+    let enc = tseitin_encode(locked.netlist(), &mut cnf);
+    let vars = solver.new_vars(cnf.num_vars);
+    let var_of = |cnf_var: i32| vars[(cnf_var.unsigned_abs() - 1) as usize];
+    let np = locked.num_primary_inputs();
+
+    for (i, &b) in dip.iter().enumerate() {
+        solver.add_clause(&[Lit::new(var_of(enc.vars[i]), !b)]);
     }
-    for (kv, shared) in keys.iter().zip(key_vars) {
+    for (o, &b) in locked.netlist().outputs().iter().zip(response) {
+        solver.add_clause(&[Lit::new(var_of(enc.vars[o.index()]), !b)]);
+    }
+    for (i, shared) in key_vars.iter().enumerate() {
+        let kv = var_of(enc.vars[np + i]);
         // kv <-> shared
-        solver.add_clause(&[Lit::pos(*kv), Lit::neg(*shared)]);
-        solver.add_clause(&[Lit::neg(*kv), Lit::pos(*shared)]);
+        solver.add_clause(&[Lit::pos(kv), Lit::neg(*shared)]);
+        solver.add_clause(&[Lit::neg(kv), Lit::pos(*shared)]);
     }
-    for (v, &b) in outputs.iter().zip(response) {
-        solver.add_clause(&[Lit::new(*v, !b)]);
+    for clause in &cnf.clauses {
+        let lits: Vec<Lit> = clause.iter().map(|&l| Lit::new(var_of(l), l < 0)).collect();
+        solver.add_clause(&lits);
     }
 }
 
@@ -162,73 +185,34 @@ pub fn sat_attack(
         "oracle output count"
     );
 
-    // Miter solver: two copies with shared inputs, distinct keys.
-    let mut miter = Solver::new();
-    let (in1, key1, out1) = encode_copy(locked, &mut miter);
-    let (in2, key2, out2) = encode_copy(locked, &mut miter);
-    for (a, b) in in1.iter().zip(&in2) {
-        miter.add_clause(&[Lit::pos(*a), Lit::neg(*b)]);
-        miter.add_clause(&[Lit::neg(*a), Lit::pos(*b)]);
-    }
-    // Some output differs: OR over XOR outputs.
-    let mut diff_lits = Vec::new();
-    for (a, b) in out1.iter().zip(&out2) {
-        let d = miter.new_var();
-        // d <-> a XOR b
-        miter.add_clause(&[Lit::neg(d), Lit::pos(*a), Lit::pos(*b)]);
-        miter.add_clause(&[Lit::neg(d), Lit::neg(*a), Lit::neg(*b)]);
-        miter.add_clause(&[Lit::pos(d), Lit::neg(*a), Lit::pos(*b)]);
-        miter.add_clause(&[Lit::pos(d), Lit::pos(*a), Lit::neg(*b)]);
-        diff_lits.push(Lit::pos(d));
-    }
-    miter.add_clause(&diff_lits);
-
-    // Key-consistency solver: one key vector, accumulating I/O
-    // constraints; any model is a key consistent with everything seen.
-    let mut keysolver = Solver::new();
-    let (_kin, keyvars, _kout) = encode_copy(locked, &mut keysolver);
+    let mut dip_solver = DipSolver::new(locked);
 
     let _span = mlam_telemetry::span("locking.sat_attack").attr("key_bits", locked.num_key_bits());
     let mut iterations = 0usize;
     let mut last_checkpoint: Option<(u64, f64)> = None;
-    loop {
+    while let Some(dip) = dip_solver.find_dip() {
+        iterations += 1;
         assert!(
-            iterations < config.max_iterations,
+            iterations <= config.max_iterations,
             "SAT attack exceeded {} iterations",
             config.max_iterations
         );
-        match miter.solve() {
-            SatResult::Sat(model) => {
-                iterations += 1;
-                mlam_telemetry::counter!("locking.sat_attack.dips", 1);
-                let dip: Vec<bool> = in1.iter().map(|v| model.value(*v)).collect();
-                let response = oracle.simulate(&dip);
-                // Prune the miter: both key copies must reproduce it.
-                add_io_constraint(locked, &mut miter, &key1, &dip, &response);
-                add_io_constraint(locked, &mut miter, &key2, &dip, &response);
-                // And the key-consistency instance.
-                add_io_constraint(locked, &mut keysolver, &keyvars, &dip, &response);
-                // Learning-curve checkpoint at log-spaced DIP counts:
-                // progress is a remaining-key-space proxy (each DIP
-                // prunes at least one key, so `k` DIPs bound the attack
-                // from below at `k` of the `num_key_bits` halvings).
-                if mlam_telemetry::curves::recording()
-                    && mlam_telemetry::curves::should_checkpoint(
-                        iterations as u64,
-                        config.max_iterations as u64,
-                    )
-                {
-                    let proxy = key_space_proxy(iterations, locked.num_key_bits());
-                    mlam_telemetry::curves::checkpoint(
-                        "sat_attack",
-                        iterations as u64,
-                        proxy,
-                        None,
-                    );
-                    last_checkpoint = Some((iterations as u64, proxy));
-                }
-            }
-            SatResult::Unsat => break,
+        mlam_telemetry::counter!("locking.sat_attack.dips", 1);
+        let response = oracle.simulate(&dip);
+        dip_solver.constrain(&dip, &response);
+        // Learning-curve checkpoint at log-spaced DIP counts:
+        // progress is a remaining-key-space proxy (each DIP
+        // prunes at least one key, so `k` DIPs bound the attack
+        // from below at `k` of the `num_key_bits` halvings).
+        if mlam_telemetry::curves::recording()
+            && mlam_telemetry::curves::should_checkpoint(
+                iterations as u64,
+                config.max_iterations as u64,
+            )
+        {
+            let proxy = key_space_proxy(iterations, locked.num_key_bits());
+            mlam_telemetry::curves::checkpoint("sat_attack", iterations as u64, proxy, None);
+            last_checkpoint = Some((iterations as u64, proxy));
         }
     }
     // Close the curve at the UNSAT point: the key space is fully
@@ -237,17 +221,9 @@ pub fn sat_attack(
         mlam_telemetry::curves::checkpoint("sat_attack", iterations as u64, 1.0, None);
     }
 
-    // Extract any consistent key.
-    let key = match keysolver.solve() {
-        SatResult::Sat(model) => {
-            let mut k = BitVec::zeros(locked.num_key_bits());
-            for (i, v) in keyvars.iter().enumerate() {
-                k.set(i, model.value(*v));
-            }
-            k
-        }
-        SatResult::Unsat => unreachable!("the correct key is always consistent"),
-    };
+    // Extract any consistent key — an assumption flip on the same
+    // solver, reusing everything the DIP loop learnt.
+    let key = dip_solver.extract_key();
 
     let key_is_functionally_correct = if locked.num_primary_inputs() <= 16 {
         locked.equivalent_under_key(oracle, &key)
@@ -259,8 +235,7 @@ pub fn sat_attack(
         locked.equivalent_under_key_formal(oracle, &key)
     };
 
-    let mut solver_stats = miter.stats();
-    solver_stats.accumulate(&keysolver.stats());
+    let solver_stats = dip_solver.stats();
     SatAttackResult {
         key,
         iterations,
@@ -332,5 +307,73 @@ mod tests {
             "DIP iterations {} should be << 256",
             r.iterations
         );
+    }
+
+    #[test]
+    fn attack_is_deterministic_across_runs() {
+        // The persistent solver is single-threaded and
+        // assumption-deterministic: two runs on the same instance must
+        // produce the identical key, DIP count, and counters.
+        let oracle = ripple_adder(3);
+        let mut rng = StdRng::seed_from_u64(42);
+        let locked = lock_xor(&oracle, 6, &mut rng);
+        let a = sat_attack(&locked, &oracle, SatAttackConfig::default());
+        let b = sat_attack(&locked, &oracle, SatAttackConfig::default());
+        assert_eq!(a.key, b.key);
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.solver_stats.conflicts, b.solver_stats.conflicts);
+        assert_eq!(a.solver_stats.decisions, b.solver_stats.decisions);
+        assert_eq!(a.solver_stats.propagations, b.solver_stats.propagations);
+    }
+
+    #[test]
+    fn learnt_persistence_never_changes_the_consistent_key_set() {
+        // Regression for the incremental rework: clauses learnt while
+        // finding DIPs stay in the solver for later calls. Learnt
+        // clauses are logical consequences, so the set of keys
+        // consistent with the accumulated I/O constraints must be
+        // exactly what a cold solver computes from the same
+        // constraints. Enumerate the full key space on a small
+        // instance and compare the warm attack solver's verdicts
+        // against fresh single-use solvers.
+        let oracle = c17();
+        let mut rng = StdRng::seed_from_u64(9);
+        let key_bits = 4;
+        let locked = lock_xor(&oracle, key_bits, &mut rng);
+
+        // Warm solver: run the full DIP loop on it.
+        let mut warm = crate::dip::DipSolver::new(&locked);
+        let mut trace: Vec<(Vec<bool>, Vec<bool>)> = Vec::new();
+        while let Some(dip) = warm.find_dip() {
+            let response = oracle.simulate(&dip);
+            warm.constrain(&dip, &response);
+            trace.push((dip, response));
+            assert!(trace.len() < 100, "runaway DIP loop");
+        }
+        assert!(warm.stats().learnts > 0 || warm.stats().conflicts == 0);
+
+        for mask in 0u32..(1 << key_bits) {
+            let mut key = BitVec::zeros(key_bits);
+            for i in 0..key_bits {
+                key.set(i, mask >> i & 1 == 1);
+            }
+            // Cold verdict: a fresh solver fed only the constraints.
+            let mut cold = crate::dip::DipSolver::new(&locked);
+            for (dip, response) in &trace {
+                cold.constrain(dip, response);
+            }
+            assert_eq!(
+                warm.is_key_consistent(&key),
+                cold.is_key_consistent(&key),
+                "learnt clauses changed the verdict for key {mask:04b}"
+            );
+            // And consistency must coincide with functional
+            // correctness once the space is fully pruned.
+            assert_eq!(
+                warm.is_key_consistent(&key),
+                locked.equivalent_under_key(&oracle, &key),
+                "fully pruned key set must be exactly the correct keys"
+            );
+        }
     }
 }

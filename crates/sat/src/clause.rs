@@ -1,0 +1,186 @@
+//! The clause database: storage for original and learnt clauses,
+//! clause activity, LBD ("glue") bookkeeping, and the LBD-driven
+//! learnt-clause reduction policy.
+//!
+//! Clauses live in one arena ([`ClauseDb`]) addressed by [`ClauseRef`]
+//! indices. Reduction compacts the arena, so clause references are
+//! only stable *between* reductions — the solver remaps its watch
+//! lists and reason pointers whenever [`Solver::reduce_db`] runs.
+
+use crate::solver::Solver;
+use crate::types::Lit;
+
+/// Index of a clause in the arena.
+pub(crate) type ClauseRef = usize;
+
+/// Sentinel: "no reason clause" (decision or assumption).
+pub(crate) const NO_REASON: ClauseRef = usize::MAX;
+
+/// One clause with its learnt-clause metadata.
+#[derive(Clone, Debug)]
+pub(crate) struct Clause {
+    /// The literals. Positions 0 and 1 are the watched literals.
+    pub lits: Vec<Lit>,
+    /// Whether the clause was learnt (original clauses are never
+    /// dropped by reduction).
+    pub learnt: bool,
+    /// Literal-block distance at learning time: the number of distinct
+    /// decision levels in the clause. Small LBD ("glue") clauses are
+    /// the ones worth keeping forever.
+    pub lbd: u32,
+    /// Bump-and-decay activity, the tie-breaker within an LBD class.
+    pub activity: f64,
+}
+
+/// The clause arena plus the activity/decay state shared by all learnt
+/// clauses.
+#[derive(Clone, Debug)]
+pub(crate) struct ClauseDb {
+    pub(crate) clauses: Vec<Clause>,
+    /// Clause-activity increment (decayed geometrically).
+    cla_inc: f64,
+    /// Conflicts required before the next reduction.
+    pub(crate) reduce_limit: u64,
+    /// Conflict count at the last reduction.
+    pub(crate) conflicts_at_reduce: u64,
+}
+
+/// Learnt clauses at or below this LBD are glue clauses: kept forever,
+/// like binary clauses.
+pub(crate) const GLUE_LBD: u32 = 2;
+
+impl Default for ClauseDb {
+    fn default() -> Self {
+        ClauseDb {
+            clauses: Vec::new(),
+            cla_inc: 1.0,
+            reduce_limit: 2000,
+            conflicts_at_reduce: 0,
+        }
+    }
+}
+
+impl ClauseDb {
+    /// Number of clauses currently stored (original + learnt).
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Appends a clause and returns its reference.
+    pub fn push(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> ClauseRef {
+        let cref = self.clauses.len();
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            lbd,
+            activity: 0.0,
+        });
+        cref
+    }
+
+    /// Bumps a clause's activity, rescaling all learnt activities when
+    /// the values grow too large.
+    pub fn bump(&mut self, cref: ClauseRef) {
+        let c = &mut self.clauses[cref];
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            let inc = self.cla_inc;
+            for cl in &mut self.clauses {
+                if cl.learnt {
+                    cl.activity /= inc;
+                }
+            }
+            self.cla_inc = 1.0;
+        }
+    }
+
+    /// Decays all clause activities by inflating the increment.
+    pub fn decay(&mut self) {
+        self.cla_inc /= 0.999;
+    }
+}
+
+impl std::ops::Index<ClauseRef> for ClauseDb {
+    type Output = Clause;
+    fn index(&self, cref: ClauseRef) -> &Clause {
+        &self.clauses[cref]
+    }
+}
+
+impl std::ops::IndexMut<ClauseRef> for ClauseDb {
+    fn index_mut(&mut self, cref: ClauseRef) -> &mut Clause {
+        &mut self.clauses[cref]
+    }
+}
+
+impl Solver {
+    /// Reduces the learnt-clause database.
+    ///
+    /// Keep rules, in order:
+    /// - original clauses are never touched;
+    /// - binary and glue (LBD ≤ [`GLUE_LBD`]) learnt clauses are kept;
+    /// - *locked* clauses (the reason of a current assignment) are
+    ///   kept;
+    /// - of the rest, the better half survives, ordered by (LBD
+    ///   ascending, activity descending) — glue first, then recency of
+    ///   use.
+    ///
+    /// The arena is compacted afterwards; watch lists and reason
+    /// pointers are rebuilt against the remapped references.
+    pub(crate) fn reduce_db(&mut self) {
+        let mut candidates: Vec<ClauseRef> = (0..self.db.len())
+            .filter(|&i| {
+                let c = &self.db[i];
+                c.learnt && c.lits.len() > 2 && c.lbd > GLUE_LBD && !self.is_locked(i)
+            })
+            .collect();
+        if candidates.len() < 100 {
+            return;
+        }
+        // Deterministic order: LBD ascending, then activity descending,
+        // then arena index (insertion order) as the final tie-break.
+        candidates.sort_by(|&a, &b| {
+            let (ca, cb) = (&self.db[a], &self.db[b]);
+            ca.lbd
+                .cmp(&cb.lbd)
+                .then(cb.activity.total_cmp(&ca.activity))
+                .then(a.cmp(&b))
+        });
+        let mut to_drop = vec![false; self.db.len()];
+        for &cref in &candidates[candidates.len() / 2..] {
+            to_drop[cref] = true;
+        }
+
+        // Compact the arena with a stable remapping.
+        let mut remap: Vec<ClauseRef> = vec![NO_REASON; self.db.len()];
+        let mut kept = Vec::with_capacity(self.db.len());
+        for (i, c) in self.db.clauses.drain(..).enumerate() {
+            if to_drop[i] {
+                continue;
+            }
+            remap[i] = kept.len();
+            kept.push(c);
+        }
+        self.db.clauses = kept;
+        self.rebuild_watches();
+        for r in &mut self.reason {
+            if *r != NO_REASON {
+                *r = remap[*r];
+                // A locked clause is never dropped, so remap is valid.
+                debug_assert_ne!(*r, NO_REASON);
+            }
+        }
+        self.stats.learnt_clauses = self.db.clauses.iter().filter(|c| c.learnt).count();
+        self.stats.lbd_reductions += 1;
+    }
+
+    /// Whether the clause is the reason of a currently-assigned
+    /// variable (its first literal is the one it propagated).
+    fn is_locked(&self, cref: ClauseRef) -> bool {
+        self.db[cref]
+            .lits
+            .first()
+            .map(|l| self.reason[l.var().index()] == cref)
+            .unwrap_or(false)
+    }
+}

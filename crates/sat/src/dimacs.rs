@@ -1,6 +1,7 @@
 //! DIMACS CNF import/export.
 
-use crate::solver::{Lit, Solver, Var};
+use crate::solver::Solver;
+use crate::types::{Lit, Var};
 use std::error::Error;
 use std::fmt;
 use std::fmt::Write as _;
@@ -135,7 +136,7 @@ pub fn to_dimacs(num_vars: usize, clauses: &[Vec<i32>]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::solver::SatResult;
+    use crate::types::SatResult;
 
     #[test]
     fn parse_and_solve() {

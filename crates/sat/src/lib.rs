@@ -1,18 +1,24 @@
-//! A conflict-driven clause-learning (CDCL) SAT solver.
+//! An incremental conflict-driven clause-learning (CDCL) SAT solver.
 //!
 //! The SAT attack on logic locking (Subramanyan et al., referenced via
 //! the paper's discussion of \[4\], \[5\]) needs an incremental SAT solver;
 //! none being available offline, this crate implements one from
-//! scratch:
+//! scratch. The architecture tour lives in `SOLVER.md` at the repo
+//! root; the module map:
 //!
-//! - two-watched-literal propagation,
-//! - first-UIP conflict analysis with clause learning,
-//! - VSIDS-style activity with exponential decay,
-//! - non-chronological backjumping,
-//! - Luby restarts and phase saving,
-//! - assumption-based incremental solving
-//!   ([`Solver::solve_with_assumptions`]), the primitive the
-//!   oracle-guided attack loop relies on.
+//! - [`propagate`](crate::Solver::solve) *(module `propagate`)*:
+//!   two-watched-literal unit propagation with blocker literals;
+//! - *`analyze`*: first-UIP conflict analysis, local conflict-clause
+//!   minimization, LBD computation;
+//! - *`vsids`*: heap-based VSIDS decision heuristic with exponential
+//!   decay and phase saving;
+//! - *`clause`*: the clause database with LBD-based learnt-clause
+//!   reduction;
+//! - *`search`*: the CDCL loop, Luby restarts, non-chronological
+//!   backjumping, and assumption-based incremental solving
+//!   ([`Solver::solve_assuming`]) — the primitive the oracle-guided
+//!   attack loop relies on: learnt clauses, activities and phases all
+//!   survive across calls, only the assumptions are transient.
 //!
 //! # Example
 //!
@@ -31,9 +37,24 @@
 //!     }
 //!     SatResult::Unsat => unreachable!(),
 //! }
+//! // The solver is reusable: add more clauses, or probe with
+//! // assumptions that constrain one call only.
+//! assert!(!solver.solve_assuming(&[Lit::neg(b)]).is_sat());
+//! assert!(solver.solve().is_sat());
 //! ```
 
-pub mod dimacs;
-mod solver;
+#![warn(missing_docs)]
 
-pub use solver::{Lit, Model, SatResult, Solver, SolverStats, Var};
+mod analyze;
+mod clause;
+pub mod dimacs;
+mod propagate;
+mod search;
+mod solver;
+#[cfg(test)]
+mod tests;
+mod types;
+mod vsids;
+
+pub use solver::Solver;
+pub use types::{Lit, Model, SatResult, SolverStats, Var};

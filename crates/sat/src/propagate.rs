@@ -1,0 +1,161 @@
+//! Two-watched-literal unit propagation.
+//!
+//! Invariants maintained here and relied on everywhere else:
+//!
+//! - every clause of length ≥ 2 has exactly two watchers, on its
+//!   literal positions 0 and 1;
+//! - a watched literal is only allowed to become false if the clause's
+//!   other watch is true, or the clause is unit/conflicting — i.e.
+//!   watches always sit on non-false literals while the clause is
+//!   undetermined;
+//! - when a clause propagates, the propagated literal is moved to
+//!   position 0 (conflict analysis and the locked-clause check in
+//!   `reduce_db` both key on `lits[0]`).
+//!
+//! Each watcher carries a *blocker* literal (some other literal of the
+//! clause, usually the other watch): if the blocker is already true the
+//! clause is satisfied and the watcher is skipped without touching the
+//! clause memory at all — the classic MiniSat cache-miss saver, which
+//! matters on attack miters where watch lists grow with every DIP.
+
+use crate::clause::{ClauseRef, NO_REASON};
+use crate::solver::{Solver, UNASSIGNED};
+use crate::types::Lit;
+
+/// One entry in a watch list.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Watcher {
+    /// The watching clause.
+    pub cref: ClauseRef,
+    /// A literal of the clause whose truth satisfies the clause;
+    /// checked before the clause itself is loaded.
+    pub blocker: Lit,
+}
+
+impl Solver {
+    /// Stores a clause and installs its two watchers. `lbd` is the
+    /// literal-block distance for learnt clauses (0 for originals).
+    pub(crate) fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        let (w0, w1) = (lits[0], lits[1]);
+        let cref = self.db.push(lits, learnt, lbd);
+        self.watches[w0.code()].push(Watcher { cref, blocker: w1 });
+        self.watches[w1.code()].push(Watcher { cref, blocker: w0 });
+        if learnt {
+            self.stats.learnt_clauses += 1;
+        }
+        cref
+    }
+
+    /// Rebuilds every watch list from the clause arena (used after
+    /// database reduction compacts clause references).
+    pub(crate) fn rebuild_watches(&mut self) {
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for (cref, c) in self.db.clauses.iter().enumerate() {
+            let (w0, w1) = (c.lits[0], c.lits[1]);
+            self.watches[w0.code()].push(Watcher { cref, blocker: w1 });
+            self.watches[w1.code()].push(Watcher { cref, blocker: w0 });
+        }
+    }
+
+    /// Enqueues a literal as true. Returns false on conflict with the
+    /// current assignment.
+    pub(crate) fn enqueue(&mut self, l: Lit, reason: ClauseRef) -> bool {
+        match self.lit_value(l) {
+            Some(true) => true,
+            Some(false) => false,
+            None => {
+                let v = l.var();
+                let value = !l.is_negated();
+                self.assign[v.index()] = u8::from(value);
+                self.level[v.index()] = self.decision_level();
+                self.reason[v.index()] = reason;
+                self.vsids.save_phase(v, value);
+                self.trail.push(l);
+                true
+            }
+        }
+    }
+
+    /// Unit propagation to fixpoint; returns the conflicting clause if
+    /// any.
+    pub(crate) fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.queue_head < self.trail.len() {
+            let p = self.trail[self.queue_head];
+            self.queue_head += 1;
+            self.stats.propagations += 1;
+            let false_lit = p.negate();
+            let mut watch_list = std::mem::take(&mut self.watches[false_lit.code()]);
+            let mut i = 0;
+            while i < watch_list.len() {
+                // Blocker short-circuit: satisfied clause, watcher stays.
+                if self.lit_value(watch_list[i].blocker) == Some(true) {
+                    i += 1;
+                    continue;
+                }
+                let cref = watch_list[i].cref;
+                // Make sure the false literal is at position 1.
+                let (w0, w1) = {
+                    let c = &mut self.db[cref];
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                    (c.lits[0], c.lits[1])
+                };
+                debug_assert_eq!(w1, false_lit);
+                // If the other watch is true, the clause is satisfied;
+                // remember it as the blocker for next time.
+                if self.lit_value(w0) == Some(true) {
+                    watch_list[i].blocker = w0;
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let mut moved = false;
+                let len = self.db[cref].lits.len();
+                for k in 2..len {
+                    let lk = self.db[cref].lits[k];
+                    if self.lit_value(lk) != Some(false) {
+                        self.db[cref].lits.swap(1, k);
+                        self.watches[lk.code()].push(Watcher { cref, blocker: w0 });
+                        watch_list.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Clause is unit or conflicting on w0.
+                watch_list[i].blocker = w0;
+                if !self.enqueue(w0, cref) {
+                    // Conflict: restore watch list and return.
+                    self.watches[false_lit.code()] = watch_list;
+                    self.queue_head = self.trail.len();
+                    return Some(cref);
+                }
+                i += 1;
+            }
+            self.watches[false_lit.code()] = watch_list;
+        }
+        None
+    }
+
+    /// Undoes assignments above `level`, re-enqueueing the freed
+    /// variables for decision.
+    pub(crate) fn cancel_until(&mut self, level: u32) {
+        while self.decision_level() > level {
+            let lim = self.trail_lim.pop().expect("level > 0");
+            while self.trail.len() > lim {
+                let l = self.trail.pop().expect("non-empty trail");
+                let v = l.var();
+                self.assign[v.index()] = UNASSIGNED;
+                self.reason[v.index()] = NO_REASON;
+                self.vsids.insert(v);
+            }
+        }
+        self.queue_head = self.trail.len();
+    }
+}

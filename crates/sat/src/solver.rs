@@ -1,228 +1,66 @@
-//! The CDCL solver core.
+//! The solver skeleton: state owned by [`Solver`], variable/clause
+//! construction, and the public inspection API.
+//!
+//! The algorithmic machinery lives in the sibling modules —
+//! [`propagate`](crate::propagate) (two-watched-literal propagation),
+//! [`analyze`](crate::analyze) (1-UIP learning + minimization),
+//! [`vsids`](crate::vsids) (decision heap + phase saving),
+//! [`clause`](crate::clause) (LBD-based learnt reduction) and
+//! [`search`](crate::search) (the CDCL loop, restarts, and the
+//! incremental [`Solver::solve_assuming`] entry point).
 
-use std::fmt;
+use crate::clause::{ClauseDb, ClauseRef, NO_REASON};
+use crate::propagate::Watcher;
+use crate::types::{Lit, SolverStats, Var};
+use crate::vsids::Vsids;
 
-/// A propositional variable.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Var(pub(crate) u32);
+pub(crate) const UNASSIGNED: u8 = 2;
 
-impl Var {
-    /// Zero-based index.
-    pub fn index(self) -> usize {
-        self.0 as usize
-    }
-}
-
-impl fmt::Display for Var {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "x{}", self.0)
-    }
-}
-
-/// A literal: a variable or its negation.
+/// The incremental CDCL solver. See the [crate docs](crate) for the
+/// algorithm list and `SOLVER.md` at the repo root for the
+/// architecture tour.
 ///
-/// Encoded as `var << 1 | sign` with `sign = 1` meaning negated.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Lit(u32);
-
-impl Lit {
-    /// The positive literal of `v`.
-    pub fn pos(v: Var) -> Lit {
-        Lit(v.0 << 1)
-    }
-
-    /// The negative literal of `v`.
-    pub fn neg(v: Var) -> Lit {
-        Lit(v.0 << 1 | 1)
-    }
-
-    /// Builds a literal from a variable and a sign
-    /// (`negated = true` gives `¬v`).
-    pub fn new(v: Var, negated: bool) -> Lit {
-        Lit(v.0 << 1 | u32::from(negated))
-    }
-
-    /// The underlying variable.
-    pub fn var(self) -> Var {
-        Var(self.0 >> 1)
-    }
-
-    /// Whether the literal is negated.
-    pub fn is_negated(self) -> bool {
-        self.0 & 1 == 1
-    }
-
-    /// The complementary literal.
-    pub fn negate(self) -> Lit {
-        Lit(self.0 ^ 1)
-    }
-
-    fn code(self) -> usize {
-        self.0 as usize
-    }
-}
-
-impl std::ops::Not for Lit {
-    type Output = Lit;
-    fn not(self) -> Lit {
-        self.negate()
-    }
-}
-
-impl fmt::Display for Lit {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.is_negated() {
-            write!(f, "¬{}", self.var())
-        } else {
-            write!(f, "{}", self.var())
-        }
-    }
-}
-
-/// A satisfying assignment.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Model {
-    values: Vec<bool>,
-}
-
-impl Model {
-    /// The value of a variable.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the variable was not part of the solved instance.
-    pub fn value(&self, v: Var) -> bool {
-        self.values[v.index()]
-    }
-
-    /// Whether a literal is true under the model.
-    pub fn lit_value(&self, l: Lit) -> bool {
-        self.value(l.var()) != l.is_negated()
-    }
-
-    /// All variable values, indexed by variable.
-    pub fn values(&self) -> &[bool] {
-        &self.values
-    }
-}
-
-/// The result of a solve call.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum SatResult {
-    /// Satisfiable, with a model.
-    Sat(Model),
-    /// Unsatisfiable (under the given assumptions, if any).
-    Unsat,
-}
-
-impl SatResult {
-    /// Returns the model if satisfiable.
-    pub fn model(&self) -> Option<&Model> {
-        match self {
-            SatResult::Sat(m) => Some(m),
-            SatResult::Unsat => None,
-        }
-    }
-
-    /// Whether the result is SAT.
-    pub fn is_sat(&self) -> bool {
-        matches!(self, SatResult::Sat(_))
-    }
-}
-
-/// Aggregate statistics of a solver instance.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
-pub struct SolverStats {
-    /// Conflicts encountered.
-    pub conflicts: u64,
-    /// Decisions taken.
-    pub decisions: u64,
-    /// Literals propagated.
-    pub propagations: u64,
-    /// Restarts performed.
-    pub restarts: u64,
-    /// Learnt clauses currently kept.
-    pub learnt_clauses: usize,
-}
-
-impl SolverStats {
-    /// The work done since an earlier snapshot of the same solver.
-    ///
-    /// The monotone counters subtract (saturating, so snapshots from a
-    /// different solver cannot underflow); `learnt_clauses` is a gauge
-    /// and keeps its current value.
-    pub fn since(&self, earlier: &SolverStats) -> SolverStats {
-        SolverStats {
-            conflicts: self.conflicts.saturating_sub(earlier.conflicts),
-            decisions: self.decisions.saturating_sub(earlier.decisions),
-            propagations: self.propagations.saturating_sub(earlier.propagations),
-            restarts: self.restarts.saturating_sub(earlier.restarts),
-            learnt_clauses: self.learnt_clauses,
-        }
-    }
-
-    /// Adds another solver's statistics into this one (for reporting
-    /// totals across several solver instances). `learnt_clauses` sums
-    /// the clauses currently kept by each instance.
-    pub fn accumulate(&mut self, other: &SolverStats) {
-        self.conflicts += other.conflicts;
-        self.decisions += other.decisions;
-        self.propagations += other.propagations;
-        self.restarts += other.restarts;
-        self.learnt_clauses += other.learnt_clauses;
-    }
-}
-
-const UNASSIGNED: u8 = 2;
-
-#[derive(Clone, Debug)]
-struct Clause {
-    lits: Vec<Lit>,
-    learnt: bool,
-    activity: f64,
-}
-
-type ClauseRef = usize;
-
-/// The CDCL solver. See the [crate docs](crate) for the algorithm list.
+/// # Incremental contract
+///
+/// A `Solver` is a *persistent* object: clauses added with
+/// [`add_clause`](Solver::add_clause) stay forever, and everything the
+/// search learns — learnt clauses, variable activities, saved phases —
+/// survives across [`solve`](Solver::solve) /
+/// [`solve_assuming`](Solver::solve_assuming) calls. Assumptions are
+/// the *only* transient input: they constrain exactly one call.
 #[derive(Clone, Debug, Default)]
 pub struct Solver {
-    clauses: Vec<Clause>,
-    /// Watch lists: for literal code `c`, the clauses watching that
-    /// literal (i.e. containing it among the first two positions).
-    watches: Vec<Vec<ClauseRef>>,
+    /// Clause arena (original + learnt) and reduction policy.
+    pub(crate) db: ClauseDb,
+    /// Watch lists: for literal code `c`, the watchers of clauses
+    /// currently watching that literal.
+    pub(crate) watches: Vec<Vec<Watcher>>,
     /// Assignment per variable: 0 = false, 1 = true, 2 = unassigned.
-    assign: Vec<u8>,
+    pub(crate) assign: Vec<u8>,
     /// Decision level per variable.
-    level: Vec<u32>,
-    /// Reason clause per variable (antecedent), usize::MAX = decision.
-    reason: Vec<ClauseRef>,
-    /// Saved phase per variable.
-    phase: Vec<bool>,
-    /// VSIDS activity per variable.
-    activity: Vec<f64>,
-    var_inc: f64,
-    cla_inc: f64,
-    trail: Vec<Lit>,
-    trail_lim: Vec<usize>,
-    queue_head: usize,
+    pub(crate) level: Vec<u32>,
+    /// Reason clause per variable (antecedent), [`NO_REASON`] for
+    /// decisions and assumptions.
+    pub(crate) reason: Vec<ClauseRef>,
+    /// Decision heuristic: activity heap + saved phases.
+    pub(crate) vsids: Vsids,
+    pub(crate) trail: Vec<Lit>,
+    pub(crate) trail_lim: Vec<usize>,
+    pub(crate) queue_head: usize,
     /// Permanently unsatisfiable (empty clause added).
-    unsat: bool,
-    stats: SolverStats,
+    pub(crate) unsat: bool,
+    pub(crate) stats: SolverStats,
     /// Scratch for conflict analysis.
-    seen: Vec<bool>,
+    pub(crate) seen: Vec<bool>,
+    /// Scratch for LBD computation: stamp per decision level.
+    pub(crate) level_stamp: Vec<u64>,
+    pub(crate) stamp: u64,
 }
-
-const NO_REASON: ClauseRef = usize::MAX;
 
 impl Solver {
     /// Creates an empty solver.
     pub fn new() -> Self {
-        Solver {
-            var_inc: 1.0,
-            cla_inc: 1.0,
-            ..Default::default()
-        }
+        Solver::default()
     }
 
     /// Number of variables.
@@ -232,10 +70,11 @@ impl Solver {
 
     /// Number of clauses (original + learnt).
     pub fn num_clauses(&self) -> usize {
-        self.clauses.len()
+        self.db.len()
     }
 
-    /// Solver statistics.
+    /// Solver statistics (monotone over the solver's lifetime; diff
+    /// snapshots with [`SolverStats::since`] for per-call costs).
     pub fn stats(&self) -> SolverStats {
         self.stats
     }
@@ -246,11 +85,11 @@ impl Solver {
         self.assign.push(UNASSIGNED);
         self.level.push(0);
         self.reason.push(NO_REASON);
-        self.phase.push(false);
-        self.activity.push(0.0);
         self.seen.push(false);
+        self.level_stamp.push(0);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
+        self.vsids.new_var();
         v
     }
 
@@ -259,8 +98,12 @@ impl Solver {
         (0..n).map(|_| self.new_var()).collect()
     }
 
-    /// Adds a clause. Duplicate literals are removed; tautologies are
-    /// ignored; the empty clause makes the instance permanently UNSAT.
+    /// Adds a clause, permanently. Duplicate literals are removed;
+    /// tautologies are ignored; literals false at the root level are
+    /// dropped and clauses true at the root are discarded (so clauses
+    /// added after unit constraints arrive pre-simplified — the DIP
+    /// loop's pinned circuit copies rely on this); the empty clause
+    /// makes the instance permanently UNSAT.
     ///
     /// Must be called at decision level 0 (i.e. not from within a solve
     /// callback).
@@ -268,6 +111,19 @@ impl Solver {
     /// # Panics
     ///
     /// Panics if a literal references an unallocated variable.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mlam_sat::{Lit, Solver};
+    ///
+    /// let mut s = Solver::new();
+    /// let (a, b) = (s.new_var(), s.new_var());
+    /// s.add_clause(&[Lit::neg(a)]); // unit: ¬a holds at the root
+    /// s.add_clause(&[Lit::pos(a), Lit::pos(b)]); // simplifies to unit b
+    /// assert_eq!(s.num_clauses(), 0, "both clauses became root units");
+    /// assert!(s.solve().is_sat());
+    /// ```
     pub fn add_clause(&mut self, lits: &[Lit]) {
         assert!(self.trail_lim.is_empty(), "add_clause at level 0 only");
         for l in lits {
@@ -302,29 +158,14 @@ impl Solver {
                 }
             }
             _ => {
-                self.attach_clause(filtered, false);
+                self.attach_clause(filtered, false, 0);
             }
         }
     }
 
-    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
-        debug_assert!(lits.len() >= 2);
-        let cref = self.clauses.len();
-        self.watches[lits[0].code()].push(cref);
-        self.watches[lits[1].code()].push(cref);
-        self.clauses.push(Clause {
-            lits,
-            learnt,
-            activity: 0.0,
-        });
-        if learnt {
-            self.stats.learnt_clauses += 1;
-        }
-        cref
-    }
-
+    /// The current value of a literal, if its variable is assigned.
     #[inline]
-    fn lit_value(&self, l: Lit) -> Option<bool> {
+    pub(crate) fn lit_value(&self, l: Lit) -> Option<bool> {
         match self.assign[l.var().index()] {
             UNASSIGNED => None,
             v => Some((v == 1) != l.is_negated()),
@@ -332,660 +173,7 @@ impl Solver {
     }
 
     #[inline]
-    fn decision_level(&self) -> u32 {
+    pub(crate) fn decision_level(&self) -> u32 {
         self.trail_lim.len() as u32
-    }
-
-    /// Enqueues a literal as true. Returns false on conflict with the
-    /// current assignment.
-    fn enqueue(&mut self, l: Lit, reason: ClauseRef) -> bool {
-        match self.lit_value(l) {
-            Some(true) => true,
-            Some(false) => false,
-            None => {
-                let v = l.var().index();
-                self.assign[v] = u8::from(!l.is_negated());
-                self.level[v] = self.decision_level();
-                self.reason[v] = reason;
-                self.phase[v] = !l.is_negated();
-                self.trail.push(l);
-                true
-            }
-        }
-    }
-
-    /// Unit propagation; returns the conflicting clause if any.
-    fn propagate(&mut self) -> Option<ClauseRef> {
-        while self.queue_head < self.trail.len() {
-            let p = self.trail[self.queue_head];
-            self.queue_head += 1;
-            self.stats.propagations += 1;
-            let false_lit = p.negate();
-            let mut watch_list = std::mem::take(&mut self.watches[false_lit.code()]);
-            let mut i = 0;
-            while i < watch_list.len() {
-                let cref = watch_list[i];
-                // Make sure the false literal is at position 1.
-                let (w0, w1) = {
-                    let c = &mut self.clauses[cref];
-                    if c.lits[0] == false_lit {
-                        c.lits.swap(0, 1);
-                    }
-                    (c.lits[0], c.lits[1])
-                };
-                debug_assert_eq!(w1, false_lit);
-                // If the other watch is true, the clause is satisfied.
-                if self.lit_value(w0) == Some(true) {
-                    i += 1;
-                    continue;
-                }
-                // Look for a new literal to watch.
-                let mut moved = false;
-                let len = self.clauses[cref].lits.len();
-                for k in 2..len {
-                    let lk = self.clauses[cref].lits[k];
-                    if self.lit_value(lk) != Some(false) {
-                        self.clauses[cref].lits.swap(1, k);
-                        self.watches[lk.code()].push(cref);
-                        watch_list.swap_remove(i);
-                        moved = true;
-                        break;
-                    }
-                }
-                if moved {
-                    continue;
-                }
-                // Clause is unit or conflicting on w0.
-                if !self.enqueue(w0, cref) {
-                    // Conflict: restore watch list and return.
-                    self.watches[false_lit.code()] = watch_list;
-                    self.queue_head = self.trail.len();
-                    return Some(cref);
-                }
-                i += 1;
-            }
-            self.watches[false_lit.code()] = watch_list;
-        }
-        None
-    }
-
-    fn bump_var(&mut self, v: usize) {
-        self.activity[v] += self.var_inc;
-        if self.activity[v] > 1e100 {
-            for a in &mut self.activity {
-                *a *= 1e-100;
-            }
-            self.var_inc *= 1e-100;
-        }
-    }
-
-    fn decay_activities(&mut self) {
-        self.var_inc /= 0.95;
-        self.cla_inc /= 0.999;
-    }
-
-    fn bump_clause(&mut self, cref: ClauseRef) {
-        let c = &mut self.clauses[cref];
-        c.activity += self.cla_inc;
-        if c.activity > 1e20 {
-            let inc = self.cla_inc;
-            for cl in &mut self.clauses {
-                if cl.learnt {
-                    cl.activity /= inc;
-                }
-            }
-            self.cla_inc = 1.0;
-        }
-    }
-
-    /// First-UIP conflict analysis. Returns the learnt clause (asserting
-    /// literal first) and the backjump level.
-    fn analyze(&mut self, confl: ClauseRef) -> (Vec<Lit>, u32) {
-        let mut learnt: Vec<Lit> = vec![Lit(0)]; // placeholder for the UIP
-        let mut counter = 0usize;
-        let mut p: Option<Lit> = None;
-        let mut trail_idx = self.trail.len();
-        let mut confl = confl;
-        let current_level = self.decision_level();
-
-        loop {
-            self.bump_clause(confl);
-            let start = usize::from(p.is_some());
-            let lits: Vec<Lit> = self.clauses[confl].lits[start..].to_vec();
-            for q in lits {
-                let v = q.var().index();
-                if !self.seen[v] && self.level[v] > 0 {
-                    self.seen[v] = true;
-                    self.bump_var(v);
-                    if self.level[v] == current_level {
-                        counter += 1;
-                    } else {
-                        learnt.push(q);
-                    }
-                }
-            }
-            // Find the next seen literal on the trail.
-            loop {
-                trail_idx -= 1;
-                if self.seen[self.trail[trail_idx].var().index()] {
-                    break;
-                }
-            }
-            let q = self.trail[trail_idx];
-            let v = q.var().index();
-            self.seen[v] = false;
-            counter -= 1;
-            if counter == 0 {
-                p = Some(q);
-                break;
-            }
-            confl = self.reason[v];
-            debug_assert_ne!(confl, NO_REASON, "non-decision must have a reason");
-            // The reason clause's first literal is q itself; skip it via
-            // `start` above.
-            debug_assert_eq!(self.clauses[confl].lits[0], q);
-            p = Some(q);
-        }
-        learnt[0] = p.expect("UIP found").negate();
-
-        // Clear remaining seen flags for the learnt literals.
-        let backjump = learnt[1..]
-            .iter()
-            .map(|l| self.level[l.var().index()])
-            .max()
-            .unwrap_or(0);
-        for l in &learnt {
-            self.seen[l.var().index()] = false;
-        }
-        // Move a literal of the backjump level to position 1 (watch
-        // invariant after backjumping).
-        if learnt.len() > 1 {
-            let pos = learnt[1..]
-                .iter()
-                .position(|l| self.level[l.var().index()] == backjump)
-                .expect("literal at backjump level")
-                + 1;
-            learnt.swap(1, pos);
-        }
-        (learnt, backjump)
-    }
-
-    /// Undoes assignments above `level`.
-    fn cancel_until(&mut self, level: u32) {
-        while self.decision_level() > level {
-            let lim = self.trail_lim.pop().expect("level > 0");
-            while self.trail.len() > lim {
-                let l = self.trail.pop().expect("non-empty trail");
-                let v = l.var().index();
-                self.assign[v] = UNASSIGNED;
-                self.reason[v] = NO_REASON;
-            }
-        }
-        self.queue_head = self.trail.len().min(self.queue_head);
-        self.queue_head = self.trail.len();
-    }
-
-    /// Picks the unassigned variable with maximal activity.
-    fn pick_branch(&self) -> Option<Var> {
-        let mut best: Option<(usize, f64)> = None;
-        for v in 0..self.num_vars() {
-            if self.assign[v] == UNASSIGNED {
-                let a = self.activity[v];
-                match best {
-                    Some((_, ba)) if ba >= a => {}
-                    _ => best = Some((v, a)),
-                }
-            }
-        }
-        best.map(|(v, _)| Var(v as u32))
-    }
-
-    /// Reduces the learnt-clause database, keeping the most active half.
-    fn reduce_db(&mut self) {
-        let mut learnt: Vec<(ClauseRef, f64)> = self
-            .clauses
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.learnt && c.lits.len() > 2)
-            .map(|(i, c)| (i, c.activity))
-            .collect();
-        if learnt.len() < 100 {
-            return;
-        }
-        learnt.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("activity not NaN"));
-        let drop_count = learnt.len() / 2;
-        let mut to_drop: Vec<bool> = vec![false; self.clauses.len()];
-        for &(cref, _) in learnt.iter().take(drop_count) {
-            // Keep clauses that are reasons for current assignments.
-            let locked = self.clauses[cref]
-                .lits
-                .first()
-                .map(|l| self.reason[l.var().index()] == cref)
-                .unwrap_or(false);
-            if !locked {
-                to_drop[cref] = true;
-            }
-        }
-        // Rebuild the clause arena and watches with stable remapping.
-        let mut remap: Vec<ClauseRef> = vec![NO_REASON; self.clauses.len()];
-        let mut new_clauses = Vec::with_capacity(self.clauses.len());
-        for (i, c) in self.clauses.drain(..).enumerate() {
-            if to_drop[i] {
-                continue;
-            }
-            remap[i] = new_clauses.len();
-            new_clauses.push(c);
-        }
-        self.clauses = new_clauses;
-        for w in &mut self.watches {
-            w.clear();
-        }
-        for (i, c) in self.clauses.iter().enumerate() {
-            self.watches[c.lits[0].code()].push(i);
-            self.watches[c.lits[1].code()].push(i);
-        }
-        for r in &mut self.reason {
-            if *r != NO_REASON {
-                *r = remap[*r];
-                // A locked clause is never dropped, so remap is valid.
-                debug_assert_ne!(*r, NO_REASON);
-            }
-        }
-        self.stats.learnt_clauses = self.clauses.iter().filter(|c| c.learnt).count();
-    }
-
-    /// Solves the instance without assumptions.
-    pub fn solve(&mut self) -> SatResult {
-        self.solve_with_assumptions(&[])
-    }
-
-    /// Solves under the given assumption literals. The solver state is
-    /// reusable afterwards: assumptions do not become permanent.
-    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
-        let before = self.stats;
-        let result = self.solve_with_assumptions_inner(assumptions);
-        // Publish the per-call deltas so attack-level telemetry sees
-        // solver work even when solver instances are short-lived.
-        let delta = self.stats.since(&before);
-        mlam_telemetry::counter!("sat.solve_calls", 1);
-        mlam_telemetry::counter!("sat.conflicts", delta.conflicts);
-        mlam_telemetry::counter!("sat.decisions", delta.decisions);
-        mlam_telemetry::counter!("sat.propagations", delta.propagations);
-        mlam_telemetry::counter!("sat.restarts", delta.restarts);
-        mlam_telemetry::histogram!("sat.conflicts_per_call", delta.conflicts);
-        result
-    }
-
-    fn solve_with_assumptions_inner(&mut self, assumptions: &[Lit]) -> SatResult {
-        if self.unsat {
-            return SatResult::Unsat;
-        }
-        self.cancel_until(0);
-        if self.propagate().is_some() {
-            self.unsat = true;
-            return SatResult::Unsat;
-        }
-
-        let mut conflicts_since_restart = 0u64;
-        let mut restart_unit = 0usize;
-        let mut restart_limit = luby(restart_unit) * 64;
-        let mut reduce_limit = 2000u64;
-        let mut total_conflicts_at_reduce = self.stats.conflicts;
-
-        loop {
-            if let Some(confl) = self.propagate() {
-                self.stats.conflicts += 1;
-                conflicts_since_restart += 1;
-                if self.decision_level() == 0 {
-                    self.unsat = true;
-                    return SatResult::Unsat;
-                }
-                // Conflicts below or at the assumption levels mean the
-                // assumptions are inconsistent: analyze normally, but if
-                // the backjump target is within the assumption prefix we
-                // must re-establish assumptions; simplest correct rule:
-                // if all conflict levels are within assumptions, UNSAT.
-                let (learnt, backjump) = self.analyze(confl);
-                let assumption_levels = self.assumption_levels(assumptions);
-                if self.decision_level() <= assumption_levels {
-                    self.cancel_until(0);
-                    return SatResult::Unsat;
-                }
-                if learnt.len() == 1 {
-                    // A unit learnt is implied by the clause database
-                    // alone (assumption decisions enter the clause as
-                    // ordinary literals), so it belongs at level 0 —
-                    // enqueueing it reasonless inside the assumption
-                    // prefix would break the "non-decision has a
-                    // reason" invariant of later conflict analyses.
-                    // The decision loop re-places the assumptions.
-                    self.cancel_until(0);
-                    if !self.enqueue(learnt[0], NO_REASON) {
-                        self.unsat = true;
-                        return SatResult::Unsat;
-                    }
-                } else {
-                    let target = backjump.max(assumption_levels);
-                    self.cancel_until(target);
-                    let cref = self.attach_clause(learnt.clone(), true);
-                    let ok = self.enqueue(learnt[0], cref);
-                    debug_assert!(ok, "asserting literal must enqueue");
-                }
-                self.decay_activities();
-
-                if self.stats.conflicts - total_conflicts_at_reduce >= reduce_limit {
-                    total_conflicts_at_reduce = self.stats.conflicts;
-                    reduce_limit += 500;
-                    self.reduce_db();
-                }
-                if conflicts_since_restart >= restart_limit {
-                    conflicts_since_restart = 0;
-                    restart_unit += 1;
-                    restart_limit = luby(restart_unit) * 64;
-                    self.stats.restarts += 1;
-                    self.cancel_until(0);
-                }
-            } else {
-                // Place assumptions first.
-                if (self.decision_level() as usize) < assumptions.len() {
-                    let a = assumptions[self.decision_level() as usize];
-                    match self.lit_value(a) {
-                        Some(true) => {
-                            // Already satisfied: open a level anyway to
-                            // keep the level/assumption indexing aligned.
-                            self.trail_lim.push(self.trail.len());
-                        }
-                        Some(false) => {
-                            self.cancel_until(0);
-                            return SatResult::Unsat;
-                        }
-                        None => {
-                            self.trail_lim.push(self.trail.len());
-                            self.stats.decisions += 1;
-                            let ok = self.enqueue(a, NO_REASON);
-                            debug_assert!(ok);
-                        }
-                    }
-                    continue;
-                }
-                match self.pick_branch() {
-                    None => {
-                        // All variables assigned: SAT.
-                        let model = Model {
-                            values: self.assign.iter().map(|&v| v == 1).collect(),
-                        };
-                        self.cancel_until(0);
-                        return SatResult::Sat(model);
-                    }
-                    Some(v) => {
-                        self.trail_lim.push(self.trail.len());
-                        self.stats.decisions += 1;
-                        let lit = Lit::new(v, !self.phase[v.index()]);
-                        let ok = self.enqueue(lit, NO_REASON);
-                        debug_assert!(ok);
-                    }
-                }
-            }
-        }
-    }
-
-    /// Number of decision levels occupied by assumptions.
-    fn assumption_levels(&self, assumptions: &[Lit]) -> u32 {
-        (assumptions.len() as u32).min(self.decision_level())
-    }
-}
-
-/// The Luby restart sequence: 1,1,2,1,1,2,4,…
-fn luby(i: usize) -> u64 {
-    // Find the subsequence containing index i.
-    let mut k = 1u32;
-    loop {
-        if i + 2 == (1usize << k) {
-            return 1u64 << (k - 1);
-        }
-        if i + 2 < (1usize << k) {
-            return luby(i + 1 - (1usize << (k - 1)));
-        }
-        k += 1;
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-
-    fn brute_force_sat(num_vars: usize, clauses: &[Vec<i32>]) -> bool {
-        'outer: for mask in 0u64..(1 << num_vars) {
-            for clause in clauses {
-                let sat = clause.iter().any(|&l| {
-                    let v = (l.unsigned_abs() - 1) as usize;
-                    let val = mask >> v & 1 == 1;
-                    if l > 0 {
-                        val
-                    } else {
-                        !val
-                    }
-                });
-                if !sat {
-                    continue 'outer;
-                }
-            }
-            return true;
-        }
-        false
-    }
-
-    fn solve_ints(num_vars: usize, clauses: &[Vec<i32>]) -> SatResult {
-        let mut s = Solver::new();
-        let vars = s.new_vars(num_vars);
-        for clause in clauses {
-            let lits: Vec<Lit> = clause
-                .iter()
-                .map(|&l| Lit::new(vars[(l.unsigned_abs() - 1) as usize], l < 0))
-                .collect();
-            s.add_clause(&lits);
-        }
-        let result = s.solve();
-        // Any returned model must actually satisfy the clauses.
-        if let SatResult::Sat(m) = &result {
-            for clause in clauses {
-                assert!(
-                    clause.iter().any(|&l| {
-                        let val = m.value(vars[(l.unsigned_abs() - 1) as usize]);
-                        if l > 0 {
-                            val
-                        } else {
-                            !val
-                        }
-                    }),
-                    "model violates clause {clause:?}"
-                );
-            }
-        }
-        result
-    }
-
-    #[test]
-    fn trivial_instances() {
-        assert!(solve_ints(1, &[vec![1]]).is_sat());
-        assert!(solve_ints(1, &[vec![-1]]).is_sat());
-        assert!(!solve_ints(1, &[vec![1], vec![-1]]).is_sat());
-        assert!(solve_ints(2, &[vec![1, 2], vec![-1, 2], vec![1, -2]]).is_sat());
-        assert!(!solve_ints(2, &[vec![1, 2], vec![-1, 2], vec![1, -2], vec![-1, -2]]).is_sat());
-    }
-
-    #[test]
-    fn pigeonhole_3_into_2_is_unsat() {
-        // p_{i,j}: pigeon i in hole j. Vars 1..=6.
-        let p = |i: usize, j: usize| (i * 2 + j + 1) as i32;
-        let mut clauses = Vec::new();
-        for i in 0..3 {
-            clauses.push(vec![p(i, 0), p(i, 1)]);
-        }
-        for j in 0..2 {
-            for a in 0..3 {
-                for b in (a + 1)..3 {
-                    clauses.push(vec![-p(a, j), -p(b, j)]);
-                }
-            }
-        }
-        assert!(!solve_ints(6, &clauses).is_sat());
-    }
-
-    #[test]
-    fn random_3sat_matches_brute_force() {
-        let mut rng = StdRng::seed_from_u64(99);
-        let mut sat_seen = 0;
-        let mut unsat_seen = 0;
-        for _ in 0..400 {
-            let n = rng.gen_range(3..=10usize);
-            let m = rng.gen_range(1..=(n * 5));
-            let clauses: Vec<Vec<i32>> = (0..m)
-                .map(|_| {
-                    (0..3)
-                        .map(|_| {
-                            let v = rng.gen_range(1..=n as i32);
-                            if rng.gen() {
-                                v
-                            } else {
-                                -v
-                            }
-                        })
-                        .collect()
-                })
-                .collect();
-            let expected = brute_force_sat(n, &clauses);
-            let got = solve_ints(n, &clauses).is_sat();
-            assert_eq!(got, expected, "n={n} clauses={clauses:?}");
-            if expected {
-                sat_seen += 1;
-            } else {
-                unsat_seen += 1;
-            }
-        }
-        assert!(
-            sat_seen > 20 && unsat_seen > 20,
-            "{sat_seen} / {unsat_seen}"
-        );
-    }
-
-    #[test]
-    fn assumptions_are_not_permanent() {
-        let mut s = Solver::new();
-        let a = s.new_var();
-        let b = s.new_var();
-        s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
-        // Under assumption ¬a, b must be true.
-        match s.solve_with_assumptions(&[Lit::neg(a)]) {
-            SatResult::Sat(m) => {
-                assert!(!m.value(a));
-                assert!(m.value(b));
-            }
-            SatResult::Unsat => panic!("must be SAT"),
-        }
-        // Under assumption a, b is free; instance still SAT.
-        assert!(s.solve_with_assumptions(&[Lit::pos(a)]).is_sat());
-        // Contradictory assumptions -> UNSAT, but instance recovers.
-        assert!(!s
-            .solve_with_assumptions(&[Lit::pos(a), Lit::neg(a)])
-            .is_sat());
-        assert!(s.solve().is_sat());
-    }
-
-    #[test]
-    fn incremental_clause_addition() {
-        let mut s = Solver::new();
-        let vars = s.new_vars(4);
-        s.add_clause(&[Lit::pos(vars[0]), Lit::pos(vars[1])]);
-        assert!(s.solve().is_sat());
-        s.add_clause(&[Lit::neg(vars[0])]);
-        match s.solve() {
-            SatResult::Sat(m) => assert!(m.value(vars[1])),
-            SatResult::Unsat => panic!("still SAT"),
-        }
-        s.add_clause(&[Lit::neg(vars[1])]);
-        assert!(!s.solve().is_sat());
-        // Permanent UNSAT.
-        assert!(!s.solve().is_sat());
-    }
-
-    #[test]
-    fn assumptions_with_unsat_core_behaviour() {
-        let mut s = Solver::new();
-        let x = s.new_var();
-        let y = s.new_var();
-        let z = s.new_var();
-        s.add_clause(&[Lit::neg(x), Lit::pos(y)]);
-        s.add_clause(&[Lit::neg(y), Lit::pos(z)]);
-        s.add_clause(&[Lit::neg(z)]);
-        // Chain forces ¬x.
-        assert!(!s.solve_with_assumptions(&[Lit::pos(x)]).is_sat());
-        assert!(s.solve_with_assumptions(&[Lit::neg(x)]).is_sat());
-    }
-
-    #[test]
-    fn large_random_satisfiable_instance() {
-        // Plant a solution, generate clauses satisfied by it.
-        let mut rng = StdRng::seed_from_u64(7);
-        let n = 200;
-        let planted: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
-        let mut s = Solver::new();
-        let vars = s.new_vars(n);
-        for _ in 0..900 {
-            let mut clause = Vec::new();
-            loop {
-                clause.clear();
-                for _ in 0..3 {
-                    let v = rng.gen_range(0..n);
-                    clause.push(Lit::new(vars[v], rng.gen()));
-                }
-                // Keep only clauses satisfied by the planted assignment.
-                if clause
-                    .iter()
-                    .any(|l| planted[l.var().index()] != l.is_negated())
-                {
-                    break;
-                }
-            }
-            s.add_clause(&clause);
-        }
-        match s.solve() {
-            SatResult::Sat(_) => {}
-            SatResult::Unsat => panic!("planted instance must be SAT"),
-        }
-        assert!(s.stats().propagations > 0);
-    }
-
-    #[test]
-    fn luby_sequence_prefix() {
-        let prefix: Vec<u64> = (0..15).map(luby).collect();
-        assert_eq!(prefix, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
-    }
-
-    #[test]
-    fn tautologies_and_duplicates_handled() {
-        let mut s = Solver::new();
-        let a = s.new_var();
-        let b = s.new_var();
-        s.add_clause(&[Lit::pos(a), Lit::neg(a)]); // tautology: ignored
-        s.add_clause(&[Lit::pos(b), Lit::pos(b)]); // duplicate: unit b
-        match s.solve() {
-            SatResult::Sat(m) => assert!(m.value(b)),
-            SatResult::Unsat => panic!(),
-        }
-        assert_eq!(s.num_clauses(), 0, "both clauses simplified away");
-    }
-
-    #[test]
-    fn lit_api() {
-        let v = Var(3);
-        assert_eq!(Lit::pos(v).var(), v);
-        assert!(!Lit::pos(v).is_negated());
-        assert!(Lit::neg(v).is_negated());
-        assert_eq!(!Lit::pos(v), Lit::neg(v));
-        assert_eq!(Lit::new(v, true), Lit::neg(v));
-        assert_eq!(format!("{}", Lit::neg(v)), "¬x3");
     }
 }

@@ -109,3 +109,103 @@ proptest! {
         }
     }
 }
+
+/// Reference check: brute-force satisfiability of `clauses` plus a set
+/// of forced assumption literals.
+fn brute_force_sat_assuming(num_vars: usize, clauses: &[Vec<i32>], assumptions: &[i32]) -> bool {
+    let mut all: Vec<Vec<i32>> = clauses.to_vec();
+    all.extend(assumptions.iter().map(|&a| vec![a]));
+    brute_force_sat(num_vars, &all)
+}
+
+proptest! {
+    /// Incremental solving agrees with one-shot solving: adding the
+    /// clause set in two batches with a solve call in between (leaving
+    /// learnt clauses, activities and phases behind) reaches the same
+    /// verdict as a fresh solver given everything at once, and any
+    /// model is valid.
+    #[test]
+    fn incremental_agrees_with_one_shot((n, clauses) in cnf_strategy(), split in 0usize..=100) {
+        let expected = brute_force_sat(n, &clauses);
+        let mut s = Solver::new();
+        let vars = s.new_vars(n);
+        let cut = clauses.len() * split / 100;
+        let to_lits = |clause: &Vec<i32>| -> Vec<Lit> {
+            clause
+                .iter()
+                .map(|&l| Lit::new(vars[(l.unsigned_abs() - 1) as usize], l < 0))
+                .collect()
+        };
+        for clause in &clauses[..cut] {
+            s.add_clause(&to_lits(clause));
+        }
+        // Warm the solver on the prefix; its verdict is not the final
+        // one but the learnt state must not corrupt what follows.
+        let _ = s.solve();
+        for clause in &clauses[cut..] {
+            s.add_clause(&to_lits(clause));
+        }
+        match s.solve() {
+            SatResult::Sat(model) => {
+                prop_assert!(expected, "incremental said SAT, brute force UNSAT");
+                for clause in &clauses {
+                    let ok = clause.iter().any(|&l| {
+                        let val = model.value(vars[(l.unsigned_abs() - 1) as usize]);
+                        if l > 0 { val } else { !val }
+                    });
+                    prop_assert!(ok, "model violates {clause:?}");
+                }
+            }
+            SatResult::Unsat => prop_assert!(!expected, "incremental said UNSAT, brute force SAT"),
+        }
+    }
+
+    /// `solve_assuming` over random assumption subsets agrees with
+    /// brute force on the clause set extended by the assumption units,
+    /// on a solver warmed by unrelated earlier calls — what the DIP
+    /// loop does with key constraints.
+    #[test]
+    fn assumption_subsets_agree_with_brute_force(
+        (n, clauses) in cnf_strategy(),
+        raw in prop::collection::vec((0usize..9, any::<bool>()), 0..=3),
+    ) {
+        let mut s = Solver::new();
+        let vars = s.new_vars(n);
+        for clause in &clauses {
+            let lits: Vec<Lit> = clause
+                .iter()
+                .map(|&l| Lit::new(vars[(l.unsigned_abs() - 1) as usize], l < 0))
+                .collect();
+            s.add_clause(&lits);
+        }
+        // Warm-up solves so later assumption calls run on a solver
+        // carrying learnt clauses and saved phases.
+        let _ = s.solve();
+        let _ = s.solve_assuming(&[Lit::pos(vars[0])]);
+        // Deduplicate by variable so the assumption set is consistent
+        // with itself (contradictory pairs are separately covered by
+        // unit tests).
+        let mut assumptions: Vec<Lit> = Vec::new();
+        let mut ints: Vec<i32> = Vec::new();
+        for (idx, neg) in raw {
+            let v = idx % n;
+            if ints.iter().any(|&a| a.unsigned_abs() as usize == v + 1) {
+                continue;
+            }
+            assumptions.push(Lit::new(vars[v], neg));
+            ints.push(if neg { -((v + 1) as i32) } else { (v + 1) as i32 });
+        }
+        let expected = brute_force_sat_assuming(n, &clauses, &ints);
+        match s.solve_assuming(&assumptions) {
+            SatResult::Sat(model) => {
+                prop_assert!(expected, "solver said SAT under {ints:?}, brute force UNSAT");
+                for &a in &assumptions {
+                    prop_assert!(model.lit_value(a), "assumption {a} violated by model");
+                }
+            }
+            SatResult::Unsat => prop_assert!(!expected, "solver said UNSAT under {ints:?}, brute force SAT"),
+        }
+        // And the unassumed instance is untouched.
+        prop_assert_eq!(s.solve().is_sat(), brute_force_sat(n, &clauses));
+    }
+}

@@ -70,15 +70,15 @@ fn summarize_entries(entries: &[Value]) -> (String, String) {
 }
 
 /// Summarizes the object schema: the `benchmark` description plus
-/// whichever headline fields the shape carries (`rows`/`results`
-/// length, `overhead_pct`, `trials`).
+/// whichever headline fields the shape carries (`rows`/`results`/
+/// `netlists` length, `overhead_pct`, `trials`, top-level `speedup`s).
 fn summarize_object(value: &Value) -> (String, String) {
     let benchmark = match field(value, "benchmark") {
         Some(Value::Str(s)) => s.clone(),
         _ => "(no benchmark field)".to_string(),
     };
     let mut parts = Vec::new();
-    for key in ["rows", "results"] {
+    for key in ["rows", "results", "netlists"] {
         if let Some(Value::Seq(items)) = field(value, key) {
             parts.push(format!("{} {key}", items.len()));
         }
@@ -86,6 +86,17 @@ fn summarize_object(value: &Value) -> (String, String) {
     for key in ["trials", "overhead_pct"] {
         if let Some(v) = field(value, key).and_then(as_f64) {
             parts.push(format!("{key} {v:.4}"));
+        }
+    }
+    // A/B sweeps (e.g. BENCH_8) carry a per-entry speedup: headline the
+    // best one.
+    if let Some(Value::Seq(items)) = field(value, "netlists") {
+        let best = items
+            .iter()
+            .filter_map(|item| field(item, "speedup").and_then(as_f64))
+            .fold(f64::NEG_INFINITY, f64::max);
+        if best.is_finite() {
+            parts.push(format!("max speedup {best:.2}x"));
         }
     }
     if let Some(Value::Str(seed)) = field(value, "seed") {
@@ -193,6 +204,22 @@ mod tests {
         let second = table.find("BENCH_10.json").unwrap();
         assert!(first < second, "table must be index-ordered:\n{table}");
 
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ab_sweep_schema_headlines_netlists_and_speedup() {
+        let dir = scratch("ab");
+        std::fs::write(
+            dir.join("BENCH_8.json"),
+            r#"{"benchmark":"sat_incremental","seed":"0xda7e2020","netlists":[
+                {"name":"a","speedup":1.5},{"name":"b","speedup":23.7}]}"#,
+        )
+        .unwrap();
+        let rows = collect(&dir).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].headline.contains("2 netlists"), "{rows:?}");
+        assert!(rows[0].headline.contains("max speedup 23.70x"), "{rows:?}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -209,3 +209,17 @@ proptest! {
         prop_assert_eq!(s.solve().is_sat(), brute_force_sat(n, &clauses));
     }
 }
+
+#[test]
+fn scratch_duplicate_assumptions_level_overflow() {
+    let mut s = Solver::new();
+    let a = s.new_var();
+    let b = s.new_var();
+    let c = s.new_var();
+    s.add_clause(&[Lit::pos(b), Lit::pos(c)]);
+    s.add_clause(&[Lit::pos(b), Lit::neg(c)]);
+    s.add_clause(&[Lit::neg(b), Lit::pos(c)]);
+    s.add_clause(&[Lit::neg(b), Lit::neg(c)]);
+    let r = s.solve_assuming(&[Lit::pos(a), Lit::pos(a), Lit::pos(a), Lit::pos(a)]);
+    println!("result sat: {:?}", r.is_sat());
+}
